@@ -1,0 +1,482 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 6), on the OCaml substrate.
+
+     E1 table6       Table 6   — |Lq|, |Gq|, covers explored by GDL (A3–A6)
+     E2 edl-vs-gdl   §6.2      — EDL vs GDL best covers (A3–A6)
+     E3 fig2-small   Figure 2  — Postgres-like engine, small dataset
+     E4 fig2-large   Figure 2  — Postgres-like engine, large dataset
+     E5 fig3-small   Figure 3  — DB2-like engine (simple + RDF), small
+     E6 fig3-large   Figure 3  — DB2-like engine (simple + RDF), large
+     E7 gdl-time     §6.4      — GDL running time / time-limited GDL
+     E8 anatomy      §2.3      — reformulation & SQL statement sizes
+     E9 ablation-gq  §6.3      — generalized covers on/off
+
+   Usage: main.exe [--exp ID]… [--small N] [--large N] [--seed S]
+                   [--bechamel]
+   With no --exp, every experiment runs. --bechamel additionally runs
+   one Bechamel micro-benchmark group per figure. *)
+
+let small_facts = ref 30_000
+
+let large_facts = ref 120_000
+
+let seed = ref 42
+
+let selected : string list ref = ref []
+
+let with_bechamel = ref false
+
+let tbox = Lubm.Ontology.tbox
+
+(* {1 Dataset and engine caches} *)
+
+let abox_cache : (int, Dllite.Abox.t) Hashtbl.t = Hashtbl.create 4
+
+let abox_for facts =
+  match Hashtbl.find_opt abox_cache facts with
+  | Some a -> a
+  | None ->
+    Fmt.pr "[data] generating %s (seed %d)...@." (Lubm.Generator.scale_name facts) !seed;
+    let a = Lubm.Generator.generate ~seed:!seed ~target_facts:facts () in
+    Hashtbl.add abox_cache facts a;
+    a
+
+let engine_cache : (string, Obda.engine) Hashtbl.t = Hashtbl.create 8
+
+let engine_for kind layout facts =
+  let key =
+    Printf.sprintf "%s/%s/%d"
+      (match kind with `Pglite -> "pg" | `Db2lite -> "db2")
+      (match layout with `Simple -> "simple" | `Rdf -> "rdf")
+      facts
+  in
+  match Hashtbl.find_opt engine_cache key with
+  | Some e -> e
+  | None ->
+    let e = Obda.make_engine kind layout (abox_for facts) in
+    Hashtbl.add engine_cache key e;
+    e
+
+(* {1 Timing helpers} *)
+
+(* Evaluate a reformulation through an engine: median of three runs for
+   fast queries, a single run once evaluation exceeds a second. *)
+let timed_eval engine fol =
+  let layout = Obda.layout engine in
+  let profile = Obda.profile engine in
+  let sql_bytes = lazy (Sql.Sql_gen.sql_length layout fol) in
+  match profile.Rdbms.Explain.max_sql_bytes with
+  | Some limit when Lazy.force sql_bytes > limit ->
+    Error (Printf.sprintf "statement too long (%d chars)" (Lazy.force sql_bytes))
+  | _ ->
+    let plan = Rdbms.Planner.of_fol layout fol in
+    let once () =
+      let t0 = Unix.gettimeofday () in
+      let answers =
+        Rdbms.Exec.answers ~config:profile.Rdbms.Explain.exec_config layout plan
+      in
+      Unix.gettimeofday () -. t0, answers
+    in
+    let t1, answers = once () in
+    let time =
+      if t1 > 1.0 then t1
+      else begin
+        let t2, _ = once () in
+        let t3, _ = once () in
+        List.nth (List.sort Float.compare [ t1; t2; t3 ]) 1
+      end
+    in
+    Ok (time *. 1000., answers)
+
+let strategy_columns =
+  [ "UCQ", Obda.Ucq; "Croot", Obda.Croot; "GDL/RDBMS", Obda.Gdl Obda.Rdbms_cost;
+    "GDL/ext", Obda.Gdl Obda.Ext_cost ]
+
+let run_cell engine strategy q =
+  let t0 = Unix.gettimeofday () in
+  let fol = Obda.reformulate engine tbox strategy q in
+  let search_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  search_ms, Query.Fol.cq_count fol, timed_eval engine fol
+
+(* {1 E1 — Table 6: search-space sizes} *)
+
+let exp_table6 () =
+  Fmt.pr "@.== E1 (Table 6): search-space sizes and GDL exploration, A3-A6 ==@.";
+  Fmt.pr "   (paper: |Lq| = 2/7/71/93; |Gq| = 4/67/5674/>20000;@.";
+  Fmt.pr "    GDL explored Lq = 2/5/11/18, Gq = 4/12/27/59)@.@.";
+  let engine = engine_for `Pglite `Simple !small_facts in
+  let est = Obda.estimator engine Obda.Ext_cost in
+  Fmt.pr "%-5s %10s %10s %14s %14s@." "query" "|Lq|" "|Gq|" "GDL-explored" "(simple)";
+  List.iter
+    (fun e ->
+      let q = e.Lubm.Workload.query in
+      let lq = Covers.Safety.safe_cover_count ~max_count:20_000 tbox q in
+      let gq, capped = Covers.Generalized.gq_count ~max_count:20_000 tbox q in
+      let r = Optimizer.Gdl.search tbox est q in
+      Fmt.pr "%-5s %10d %9d%s %14d %14d@." e.Lubm.Workload.name lq gq
+        (if capped then "+" else " ")
+        r.Optimizer.Gdl.explored_total r.Optimizer.Gdl.explored_simple)
+    Lubm.Workload.star_queries
+
+(* {1 E2 — EDL vs GDL agreement} *)
+
+let exp_edl_vs_gdl () =
+  Fmt.pr "@.== E2 (§6.2): EDL (cap 20000) vs GDL, A3-A6 ==@.";
+  Fmt.pr "   (paper: the eval times of the best EDL and GDL covers coincided)@.@.";
+  let engine = engine_for `Pglite `Simple !small_facts in
+  let est = Obda.estimator engine Obda.Ext_cost in
+  Fmt.pr "%-5s %12s %12s %12s %12s %9s@." "query" "EDL cost" "GDL cost" "EDL eval"
+    "GDL eval" "agree?";
+  List.iter
+    (fun e ->
+      let q = e.Lubm.Workload.query in
+      let edl = Optimizer.Edl.search ~max_covers:20_000 tbox est q in
+      let gdl = Optimizer.Gdl.search tbox est q in
+      let eval fol =
+        match timed_eval engine fol with Ok (ms, _) -> ms | Error _ -> nan
+      in
+      let edl_ms = eval edl.Optimizer.Edl.reformulation in
+      let gdl_ms = eval gdl.Optimizer.Gdl.reformulation in
+      let agree =
+        Covers.Generalized.equal edl.Optimizer.Edl.cover gdl.Optimizer.Gdl.cover
+        || Float.abs (edl_ms -. gdl_ms) <= 0.25 *. Float.max 0.5 (Float.max edl_ms gdl_ms)
+      in
+      Fmt.pr "%-5s %12.0f %12.0f %10.1fms %10.1fms %9b@." e.Lubm.Workload.name
+        edl.Optimizer.Edl.est_cost gdl.Optimizer.Gdl.est_cost edl_ms gdl_ms agree)
+    Lubm.Workload.star_queries
+
+(* {1 E3/E4 — Figure 2: evaluation time on the Postgres-like engine} *)
+
+let figure2 facts =
+  let engine = engine_for `Pglite `Simple facts in
+  Fmt.pr "@.== Figure 2: evaluation time (ms) on pglite/simple, %s ==@."
+    (Lubm.Generator.scale_name facts);
+  Fmt.pr "   (paper: UCQ poor, Croot sometimes worse, GDL best;@.";
+  Fmt.pr "    GDL/RDBMS misled on the largest reformulations, GDL/ext not)@.@.";
+  Fmt.pr "%-4s" "qry";
+  List.iter (fun (n, _) -> Fmt.pr " %14s" n) strategy_columns;
+  Fmt.pr "@.";
+  List.iter
+    (fun e ->
+      Fmt.pr "%-4s" e.Lubm.Workload.name;
+      List.iter
+        (fun (_, strategy) ->
+          match run_cell engine strategy e.Lubm.Workload.query with
+          | _, cqs, Ok (ms, _) -> Fmt.pr " %8.1f (%3d)" ms cqs
+          | _, _, Error _ -> Fmt.pr " %14s" "FAILED")
+        strategy_columns;
+      Fmt.pr "@.")
+    Lubm.Workload.queries
+
+(* {1 E5/E6 — Figure 3: DB2-like engine, simple and RDF layouts} *)
+
+let figure3 facts ~with_rdf_gdl =
+  Fmt.pr "@.== Figure 3: evaluation time (ms) on db2lite, %s ==@."
+    (Lubm.Generator.scale_name facts);
+  Fmt.pr "   (paper: RDF-layout reformulations perform very poorly or fail@.";
+  Fmt.pr "    with 'statement too long'; simple layout + GDL is best)@.@.";
+  let simple = engine_for `Db2lite `Simple facts in
+  let rdf = engine_for `Db2lite `Rdf facts in
+  let columns =
+    [ "UCQ/simple", simple, Obda.Ucq; "UCQ/rdf", rdf, Obda.Ucq;
+      "Croot/simple", simple, Obda.Croot; "Croot/rdf", rdf, Obda.Croot;
+      "GDL-R/simple", simple, Obda.Gdl Obda.Rdbms_cost;
+      "GDL-e/simple", simple, Obda.Gdl Obda.Ext_cost ]
+    @ (if with_rdf_gdl then [ "GDL-R/rdf", rdf, Obda.Gdl Obda.Rdbms_cost ] else [])
+  in
+  Fmt.pr "%-4s" "qry";
+  List.iter (fun (n, _, _) -> Fmt.pr " %13s" n) columns;
+  Fmt.pr "@.";
+  List.iter
+    (fun e ->
+      Fmt.pr "%-4s" e.Lubm.Workload.name;
+      List.iter
+        (fun (_, engine, strategy) ->
+          match run_cell engine strategy e.Lubm.Workload.query with
+          | _, _, Ok (ms, _) -> Fmt.pr " %13.1f" ms
+          | _, _, Error _ -> Fmt.pr " %13s" "TOO-LONG")
+        columns;
+      Fmt.pr "@.")
+    Lubm.Workload.queries
+
+(* {1 E7 — §6.4: GDL running time and time-limited GDL} *)
+
+let exp_gdl_time () =
+  Fmt.pr "@.== E7 (§6.4): GDL running time and the 20 ms time-limited GDL ==@.";
+  Fmt.pr "   (paper: GDL spends most time in cost estimation; 20 ms GDL@.";
+  Fmt.pr "    finds covers whose eval time is close to full GDL's)@.@.";
+  let engine = engine_for `Pglite `Simple !small_facts in
+  let est = Obda.estimator engine Obda.Ext_cost in
+  Fmt.pr "%-4s %11s %11s %12s %12s %12s@." "qry" "search(ms)" "eps(ms)"
+    "eval full" "eval 20ms" "covers";
+  List.iter
+    (fun e ->
+      let q = e.Lubm.Workload.query in
+      let full = Optimizer.Gdl.search tbox est q in
+      let limited = Optimizer.Gdl.search ~time_budget:0.02 tbox est q in
+      let eval fol =
+        match timed_eval engine fol with Ok (ms, _) -> ms | Error _ -> nan
+      in
+      Fmt.pr "%-4s %11.1f %11.1f %10.1fms %10.1fms %12d@." e.Lubm.Workload.name
+        (full.Optimizer.Gdl.search_time *. 1000.)
+        (full.Optimizer.Gdl.cost_time *. 1000.)
+        (eval full.Optimizer.Gdl.reformulation)
+        (eval limited.Optimizer.Gdl.reformulation)
+        full.Optimizer.Gdl.explored_total)
+    Lubm.Workload.queries
+
+(* {1 E8 — §2.3: reformulation anatomy and SQL sizes} *)
+
+let exp_anatomy () =
+  Fmt.pr "@.== E8 (§2.3): reformulation sizes and SQL statement sizes ==@.";
+  Fmt.pr "   (paper: 35-667 CQs per minimal UCQ; SQL beyond 2,000,000 chars@.";
+  Fmt.pr "    on the RDF layout is rejected by DB2)@.@.";
+  let simple = Obda.layout (engine_for `Db2lite `Simple !small_facts) in
+  let rdf = Obda.layout (engine_for `Db2lite `Rdf !small_facts) in
+  Fmt.pr "%-4s %6s %9s %9s %14s %14s %9s@." "qry" "atoms" "raw-UCQ" "min-UCQ"
+    "SQL simple" "SQL rdf" "over-2M?";
+  List.iter
+    (fun e ->
+      let q = e.Lubm.Workload.query in
+      let raw = Reform.Perfectref.reformulate_raw tbox q in
+      let min_u = Reform.Perfectref.reformulate_cached tbox q in
+      let fol = Query.Fol.leaf ~out:q.Query.Cq.head min_u in
+      let s1 = Sql.Sql_gen.sql_length simple fol in
+      let s2 = Sql.Sql_gen.sql_length rdf fol in
+      Fmt.pr "%-4s %6d %9d %9d %14d %14d %9b@." e.Lubm.Workload.name
+        (Query.Cq.atom_count q) (Query.Ucq.size raw) (Query.Ucq.size min_u) s1 s2
+        (s2 > 2_000_000))
+    Lubm.Workload.queries
+
+(* {1 E9 — ablation: generalized covers on/off} *)
+
+let exp_ablation () =
+  Fmt.pr "@.== E9 (ablation): restricting GDL to simple covers (no semijoin@.";
+  Fmt.pr "   reducers)  (paper §6.3: GDL picked a generalized cover always@.";
+  Fmt.pr "   with the ext model, about half the time with the RDBMS model)@.@.";
+  let engine = engine_for `Pglite `Simple !small_facts in
+  Fmt.pr "%-4s %-7s %12s %12s %12s %12s %12s@." "qry" "eps" "cost Lq" "cost Gq"
+    "eval Lq" "eval Gq" "generalized?";
+  let generalized_picked = ref 0 and total = ref 0 in
+  List.iter
+    (fun e ->
+      let q = e.Lubm.Workload.query in
+      List.iter
+        (fun (eps_name, src) ->
+          let est = Obda.estimator engine src in
+          let lq = Optimizer.Gdl.search ~space:`Lq tbox est q in
+          let gq = Optimizer.Gdl.search ~space:`Gq tbox est q in
+          let eval fol =
+            match timed_eval engine fol with Ok (ms, _) -> ms | Error _ -> nan
+          in
+          let generalized = not (Covers.Generalized.is_simple gq.Optimizer.Gdl.cover) in
+          if src = Obda.Ext_cost then begin
+            incr total;
+            if generalized then incr generalized_picked
+          end;
+          Fmt.pr "%-4s %-7s %12.0f %12.0f %10.1fms %10.1fms %12b@."
+            e.Lubm.Workload.name eps_name lq.Optimizer.Gdl.est_cost
+            gq.Optimizer.Gdl.est_cost
+            (eval lq.Optimizer.Gdl.reformulation)
+            (eval gq.Optimizer.Gdl.reformulation)
+            generalized)
+        [ "ext", Obda.Ext_cost; "rdbms", Obda.Rdbms_cost ])
+    Lubm.Workload.queries;
+  Fmt.pr "@.GDL/ext picked a generalized cover on %d/%d queries@."
+    !generalized_picked !total
+
+(* {1 E10 — USCQ vs UCQ (the [33] comparison of §7)} *)
+
+let exp_uscq () =
+  Fmt.pr "@.== E10 (§7 / [33]): USCQ vs UCQ reformulations ==@.";
+  Fmt.pr "   ([33] reports USCQs behave overall better than UCQs in an RDBMS)@.@.";
+  let engine = engine_for `Pglite `Simple !small_facts in
+  Fmt.pr "%-4s %10s %10s %12s %12s@." "qry" "UCQ cqs" "USCQ cqs" "UCQ eval" "USCQ eval";
+  List.iter
+    (fun e ->
+      let q = e.Lubm.Workload.query in
+      let ucq = Obda.reformulate engine tbox Obda.Ucq q in
+      let uscq = Obda.reformulate engine tbox Obda.Uscq q in
+      let eval fol =
+        match timed_eval engine fol with Ok (ms, _) -> ms | Error _ -> nan
+      in
+      Fmt.pr "%-4s %10d %10d %10.1fms %10.1fms@." e.Lubm.Workload.name
+        (Query.Fol.cq_count ucq) (Query.Fol.cq_count uscq) (eval ucq) (eval uscq))
+    Lubm.Workload.queries
+
+(* {1 E11 — materialised fragment views (§7 future work)} *)
+
+let exp_views () =
+  Fmt.pr "@.== E11 (§7 future work): materialised fragment views ==@.";
+  Fmt.pr "   (fragments shared across the workload are materialised once@.";
+  Fmt.pr "    and reused by later queries)@.@.";
+  let run_workload engine =
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun e ->
+        ignore (Obda.answers_exn engine tbox Obda.Croot e.Lubm.Workload.query);
+        ignore
+          (Obda.answers_exn engine tbox (Obda.Gdl Obda.Ext_cost) e.Lubm.Workload.query))
+      Lubm.Workload.queries;
+    (Unix.gettimeofday () -. t0) *. 1000.
+  in
+  let abox = abox_for !small_facts in
+  let cold = Obda.make_engine `Pglite `Simple abox in
+  let warm = Obda.make_engine `Pglite `Simple abox in
+  Obda.enable_fragment_views warm;
+  let t_cold = run_workload cold in
+  let t_first = run_workload warm in
+  let t_second = run_workload warm in
+  Fmt.pr "no views        : %8.1f ms per workload pass@." t_cold;
+  Fmt.pr "views, 1st pass : %8.1f ms (%d fragments materialised)@." t_first
+    (Obda.fragment_view_count warm);
+  Fmt.pr "views, 2nd pass : %8.1f ms (%.1fx vs no views)@." t_second
+    (t_cold /. Float.max 0.1 t_second)
+
+(* {1 E12 — reformulation vs materialisation (ABox saturation)} *)
+
+let exp_saturation () =
+  Fmt.pr "@.== E12: reformulation vs ABox saturation (materialisation) ==@.";
+  Fmt.pr "   (the classical alternative: saturate once, evaluate plainly.@.";
+  Fmt.pr "    Sound but incomplete for DL-LiteR existential witnesses)@.@.";
+  let abox = abox_for !small_facts in
+  let t0 = Unix.gettimeofday () in
+  let saturated = Dllite.Saturate.abox tbox abox in
+  let saturation_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Fmt.pr "saturation: %d -> %d facts in %.0f ms@.@." (Dllite.Abox.size abox)
+    (Dllite.Abox.size saturated) saturation_ms;
+  let reform_engine = engine_for `Pglite `Simple !small_facts in
+  let sat_engine = Obda.make_engine `Pglite `Simple saturated in
+  Fmt.pr "%-4s %12s %12s %12s %12s %11s@." "qry" "certain" "saturated" "reform(ms)"
+    "sat(ms)" "complete?";
+  List.iter
+    (fun e ->
+      let q = e.Lubm.Workload.query in
+      let fol = Obda.reformulate reform_engine tbox (Obda.Gdl Obda.Ext_cost) q in
+      let reform_ms, certain =
+        match timed_eval reform_engine fol with
+        | Ok (ms, a) -> ms, a
+        | Error m -> failwith m
+      in
+      let plain = Query.Fol.of_cq q in
+      let sat_ms, sat_answers =
+        match timed_eval sat_engine plain with
+        | Ok (ms, a) -> ms, a
+        | Error m -> failwith m
+      in
+      Fmt.pr "%-4s %12d %12d %12.1f %12.1f %11b@." e.Lubm.Workload.name
+        (List.length certain) (List.length sat_answers) reform_ms sat_ms
+        (List.length sat_answers = List.length certain))
+    Lubm.Workload.queries
+
+(* {1 Bechamel micro-benchmarks (one group per table/figure)} *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let engine_pg = engine_for `Pglite `Simple !small_facts in
+  let engine_db2 = engine_for `Db2lite `Simple !small_facts in
+  let eval engine strategy q () =
+    let fol = Obda.reformulate engine tbox strategy q in
+    let plan = Rdbms.Planner.of_fol (Obda.layout engine) fol in
+    ignore
+      (Rdbms.Exec.answers
+         ~config:(Obda.profile engine).Rdbms.Explain.exec_config
+         (Obda.layout engine) plan)
+  in
+  let q9 = Lubm.Workload.q 9 in
+  let test_of name engine strategy q =
+    Test.make ~name (Staged.stage (eval engine strategy q))
+  in
+  let groups =
+    [
+      Test.make_grouped ~name:"table6-gdl"
+        [
+          Test.make ~name:"gdl-A4"
+            (Staged.stage (fun () ->
+                 ignore
+                   (Optimizer.Gdl.search tbox
+                      (Obda.estimator engine_pg Obda.Ext_cost)
+                      (Lubm.Workload.find "A4").Lubm.Workload.query)));
+        ];
+      Test.make_grouped ~name:"fig2-q9-pglite"
+        [
+          test_of "ucq" engine_pg Obda.Ucq q9;
+          test_of "croot" engine_pg Obda.Croot q9;
+          test_of "gdl-ext" engine_pg (Obda.Gdl Obda.Ext_cost) q9;
+        ];
+      Test.make_grouped ~name:"fig3-q9-db2lite"
+        [
+          test_of "ucq" engine_db2 Obda.Ucq q9;
+          test_of "gdl-ext" engine_db2 (Obda.Gdl Obda.Ext_cost) q9;
+        ];
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:30 ~quota:(Time.second 2.0) ~kde:None () in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  Fmt.pr "@.== Bechamel micro-benchmarks (ns/run) ==@.";
+  List.iter
+    (fun group ->
+      let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] group in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ ns ] -> Fmt.pr "%-28s %12.0f ns/run (%.2f ms)@." name ns (ns /. 1e6)
+          | _ -> Fmt.pr "%-28s (no estimate)@." name)
+        results)
+    groups
+
+(* {1 Driver} *)
+
+let experiments =
+  [
+    "table6", exp_table6;
+    "edl-vs-gdl", exp_edl_vs_gdl;
+    "fig2-small", (fun () -> figure2 !small_facts);
+    "fig2-large", (fun () -> figure2 !large_facts);
+    "fig3-small", (fun () -> figure3 !small_facts ~with_rdf_gdl:true);
+    "fig3-large", (fun () -> figure3 !large_facts ~with_rdf_gdl:false);
+    "gdl-time", exp_gdl_time;
+    "anatomy", exp_anatomy;
+    "ablation-gq", exp_ablation;
+    "uscq", exp_uscq;
+    "views", exp_views;
+    "saturation", exp_saturation;
+  ]
+
+let () =
+  let usage = "main.exe [--exp ID]... [--small N] [--large N] [--seed S] [--bechamel]" in
+  let spec =
+    [
+      "--exp", Arg.String (fun s -> selected := s :: !selected),
+        " run one experiment (table6, edl-vs-gdl, fig2-small, fig2-large, \
+         fig3-small, fig3-large, gdl-time, anatomy, ablation-gq, uscq, views)";
+      "--small", Arg.Set_int small_facts, " facts in the small dataset (default 30000)";
+      "--large", Arg.Set_int large_facts, " facts in the large dataset (default 120000)";
+      "--seed", Arg.Set_int seed, " generator seed (default 42)";
+      "--bechamel", Arg.Set with_bechamel, " also run the Bechamel micro-benchmarks";
+    ]
+  in
+  Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) usage;
+  let to_run =
+    match !selected with
+    | [] -> experiments
+    | names ->
+      List.filter_map
+        (fun n ->
+          match List.assoc_opt n experiments with
+          | Some f -> Some (n, f)
+          | None ->
+            Fmt.epr "unknown experiment %s@." n;
+            exit 2)
+        (List.rev names)
+  in
+  Fmt.pr "OBDA cover-reformulation benchmarks (paper: Bursztyn et al., VLDB 2016)@.";
+  Fmt.pr "TBox: %d concepts, %d roles, %d constraints; workload: Q1-Q13, A3-A6@."
+    Lubm.Ontology.concept_count Lubm.Ontology.role_count Lubm.Ontology.axiom_count;
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (_, f) -> f ()) to_run;
+  if !with_bechamel then bechamel_suite ();
+  Fmt.pr "@.total bench time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,280 @@
+(* obda-cli: command-line front end for the cover-based OBDA library.
+
+   Subcommands:
+     generate   produce a LUBMe ABox file
+     workload   list the benchmark queries
+     answer     answer a workload query end to end
+     explain    show the chosen reformulation, cover and SQL
+     covers     explore the safe / generalized cover spaces
+     check      consistency-check an ABox against the LUBMe TBox *)
+
+open Cmdliner
+
+(* {1 Common arguments} *)
+
+let facts_arg =
+  Arg.(value & opt int 20_000 & info [ "facts"; "n" ] ~docv:"N" ~doc:"Number of facts to generate.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let data_arg =
+  Arg.(value & opt (some string) None & info [ "data" ] ~docv:"FILE" ~doc:"Load the ABox from $(docv) instead of generating it.")
+
+let query_arg =
+  Arg.(value & opt string "Q1" & info [ "query"; "q" ] ~docv:"NAME" ~doc:"Workload query name (Q1..Q13, A3..A6).")
+
+let engine_arg =
+  let kinds = [ "pglite", `Pglite; "db2lite", `Db2lite ] in
+  Arg.(value & opt (enum kinds) `Pglite & info [ "engine" ] ~docv:"ENGINE" ~doc:"Engine profile: $(b,pglite) or $(b,db2lite).")
+
+let layout_arg =
+  let layouts = [ "simple", `Simple; "rdf", `Rdf ] in
+  Arg.(value & opt (enum layouts) `Simple & info [ "layout" ] ~docv:"LAYOUT" ~doc:"Storage layout: $(b,simple) or $(b,rdf).")
+
+let strategy_arg =
+  let strategies =
+    [
+      "ucq", Obda.Ucq;
+      "uscq", Obda.Uscq;
+      "croot", Obda.Croot;
+      "gdl-rdbms", Obda.Gdl Obda.Rdbms_cost;
+      "gdl-ext", Obda.Gdl Obda.Ext_cost;
+      "gdl20ms-ext", Obda.Gdl_limited (Obda.Ext_cost, 0.02);
+      "edl-ext", Obda.Edl Obda.Ext_cost;
+    ]
+  in
+  Arg.(value & opt (enum strategies) (Obda.Gdl Obda.Ext_cost)
+       & info [ "strategy"; "s" ] ~docv:"STRATEGY"
+           ~doc:"Reformulation strategy: ucq, uscq, croot, gdl-rdbms, gdl-ext, gdl20ms-ext or edl-ext.")
+
+let limit_arg =
+  Arg.(value & opt int 20 & info [ "limit" ] ~docv:"K" ~doc:"Print at most $(docv) answers.")
+
+let tbox_arg =
+  Arg.(value & opt (some string) None
+       & info [ "tbox" ] ~docv:"FILE"
+           ~doc:"Load the TBox from $(docv) (DL-LiteR text syntax) instead of the \
+                 built-in LUBMe ontology.")
+
+let rdf_arg =
+  Arg.(value & opt (some string) None
+       & info [ "rdf" ] ~docv:"FILE"
+           ~doc:"Load both TBox and ABox from an RDF (Turtle subset) graph; \
+                 overrides --tbox/--data.")
+
+let query_string_arg =
+  Arg.(value & opt (some string) None
+       & info [ "query-string" ] ~docv:"CQ"
+           ~doc:"An inline conjunctive query, e.g. \
+                 'q(?x) <- PhDStudent(?x), worksWith(?y, ?x)'. Overrides --query.")
+
+(* The knowledge base a command operates on: an RDF graph, a custom
+   TBox with generated/loaded data, or the built-in LUBMe setup. *)
+let load_kb rdf tbox_file data facts seed =
+  match rdf with
+  | Some file ->
+    let kb = Rdf.Rdfs.load_kb file in
+    Dllite.Kb.tbox kb, Dllite.Kb.abox kb
+  | None ->
+    let tbox =
+      match tbox_file with
+      | Some file -> Syntax.Tbox_text.load file
+      | None -> Lubm.Ontology.tbox
+    in
+    let abox =
+      match data with
+      | Some file -> Dllite.Abox.load file
+      | None -> Lubm.Generator.generate ~seed ~target_facts:facts ()
+    in
+    tbox, abox
+
+let find_query ~inline name =
+  match inline with
+  | Some text -> Syntax.Query_text.parse text
+  | None -> (
+    match Lubm.Workload.find name with
+    | e -> e.Lubm.Workload.query
+    | exception Not_found ->
+      Fmt.failwith "unknown query %s (try Q1..Q13, A3..A6, or --query-string)" name)
+
+(* {1 generate} *)
+
+let generate_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let run facts seed out =
+    let abox = Lubm.Generator.generate ~seed ~target_facts:facts () in
+    Dllite.Abox.save abox out;
+    Fmt.pr "wrote %a to %s@." Dllite.Abox.pp_stats abox out
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a LUBMe ABox file.")
+    Term.(const run $ facts_arg $ seed_arg $ out_arg)
+
+(* {1 workload} *)
+
+let workload_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Fmt.pr "%-4s (%d atoms)  %s@.      %a@." e.Lubm.Workload.name
+          (Query.Cq.atom_count e.Lubm.Workload.query)
+          e.Lubm.Workload.description Query.Cq.pp e.Lubm.Workload.query)
+      (Lubm.Workload.queries @ Lubm.Workload.star_queries)
+  in
+  Cmd.v (Cmd.info "workload" ~doc:"List the benchmark queries.") Term.(const run $ const ())
+
+(* {1 answer} *)
+
+let answer_cmd =
+  let run facts seed data rdf tbox_file inline qname engine_kind layout strategy limit =
+    let tbox, abox = load_kb rdf tbox_file data facts seed in
+    let engine = Obda.make_engine engine_kind layout abox in
+    let q = find_query ~inline qname in
+    let o = Obda.answer engine tbox strategy q in
+    Fmt.pr "query      : %a@." Query.Cq.pp q;
+    Fmt.pr "engine     : %s@." (Obda.engine_name engine);
+    Fmt.pr "strategy   : %s@." (Obda.strategy_name o.Obda.strategy);
+    Fmt.pr "cq count   : %d@." o.Obda.cq_count;
+    Fmt.pr "sql bytes  : %d@." o.Obda.sql_bytes;
+    Fmt.pr "search time: %.1f ms@." (o.Obda.search_time *. 1000.);
+    Fmt.pr "eval time  : %.1f ms@." (o.Obda.eval_time *. 1000.);
+    match o.Obda.answers with
+    | Error msg -> Fmt.pr "ERROR      : %s@." msg; exit 1
+    | Ok answers ->
+      Fmt.pr "answers    : %d@." (List.length answers);
+      List.iteri
+        (fun i row ->
+          if i < limit then Fmt.pr "  %a@." (Fmt.list ~sep:Fmt.comma Fmt.string) row)
+        answers;
+      if List.length answers > limit then Fmt.pr "  ... (%d more)@." (List.length answers - limit)
+  in
+  Cmd.v
+    (Cmd.info "answer" ~doc:"Answer a workload query end to end.")
+    Term.(const run $ facts_arg $ seed_arg $ data_arg $ rdf_arg $ tbox_arg
+          $ query_string_arg $ query_arg $ engine_arg $ layout_arg $ strategy_arg
+          $ limit_arg)
+
+(* {1 explain} *)
+
+let explain_cmd =
+  let plan_arg =
+    Arg.(value & flag & info [ "plan" ] ~doc:"Print the annotated physical plan.")
+  in
+  let datalog_arg =
+    Arg.(value & flag
+         & info [ "datalog" ] ~doc:"Print the reformulation as a non-recursive Datalog program.")
+  in
+  let sql_flag_arg =
+    Arg.(value & flag & info [ "sql" ] ~doc:"Print the full SQL statement.")
+  in
+  let run facts seed data rdf tbox_file inline qname engine_kind layout strategy
+      show_plan show_datalog show_sql =
+    let tbox, abox = load_kb rdf tbox_file data facts seed in
+    let engine = Obda.make_engine engine_kind layout abox in
+    let q = find_query ~inline qname in
+    let fol = Obda.reformulate engine tbox strategy q in
+    let est = Obda.estimator engine Obda.Rdbms_cost in
+    let ext = Obda.estimator engine Obda.Ext_cost in
+    Fmt.pr "query        : %a@." Query.Cq.pp q;
+    Fmt.pr "strategy     : %s@." (Obda.strategy_name strategy);
+    Fmt.pr "dialect      : %s@."
+      (if Query.Fol.is_ucq fol then "UCQ"
+       else if Query.Fol.is_jucq fol then "JUCQ"
+       else if Query.Fol.is_juscq fol then "JUSCQ"
+       else "FOL");
+    Fmt.pr "cq disjuncts : %d@." (Query.Fol.cq_count fol);
+    Fmt.pr "join width   : %d@." (Query.Fol.join_width fol);
+    Fmt.pr "rdbms cost   : %.0f@." (est.Optimizer.Estimator.estimate fol);
+    Fmt.pr "ext cost     : %.0f@." (ext.Optimizer.Estimator.estimate fol);
+    let sql = Sql.Sql_gen.of_fol (Obda.layout engine) fol in
+    Fmt.pr "sql bytes    : %d@." (Sql.Sql_ast.length sql);
+    let root = Covers.Safety.root_cover tbox q in
+    Fmt.pr "root cover   : %a@." Covers.Cover.pp root;
+    if show_plan then begin
+      let plan = Rdbms.Planner.of_fol (Obda.layout engine) fol in
+      Fmt.pr "@.== physical plan ==@.%s@."
+        (Rdbms.Explain.render (Obda.profile engine) (Obda.layout engine) plan)
+    end;
+    if show_datalog then
+      Fmt.pr "@.== datalog program (%d rules) ==@.%s@."
+        (Syntax.Datalog.rule_count fol) (Syntax.Datalog.of_fol fol);
+    if show_sql then Fmt.pr "@.== sql ==@.%s@." (Sql.Sql_ast.to_string sql)
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show the reformulation a strategy chooses, with cost estimates.")
+    Term.(const run $ facts_arg $ seed_arg $ data_arg $ rdf_arg $ tbox_arg
+          $ query_string_arg $ query_arg $ engine_arg $ layout_arg $ strategy_arg
+          $ plan_arg $ datalog_arg $ sql_flag_arg)
+
+(* {1 covers} *)
+
+let covers_cmd =
+  let run facts seed data rdf tbox_file inline qname =
+    let tbox, abox = load_kb rdf tbox_file data facts seed in
+    let engine = Obda.make_engine `Pglite `Simple abox in
+    let q = find_query ~inline qname in
+    let root = Covers.Safety.root_cover tbox q in
+    Fmt.pr "root cover           : %a@." Covers.Cover.pp root;
+    let lq = Covers.Safety.safe_cover_count ~max_count:20_000 tbox q in
+    Fmt.pr "|Lq| (cap 20000)     : %d@." lq;
+    let gq, capped = Covers.Generalized.gq_count ~max_count:20_000 tbox q in
+    Fmt.pr "|Gq| (cap 20000)     : %d%s@." gq (if capped then "+" else "");
+    let r = Optimizer.Gdl.search tbox (Obda.estimator engine Obda.Ext_cost) q in
+    Fmt.pr "GDL best cover       : %a@." Covers.Generalized.pp r.Optimizer.Gdl.cover;
+    Fmt.pr "GDL covers estimated : %d (%d simple)@." r.Optimizer.Gdl.explored_total
+      r.Optimizer.Gdl.explored_simple;
+    Fmt.pr "GDL moves / time     : %d / %.1f ms@." r.Optimizer.Gdl.moves
+      (r.Optimizer.Gdl.search_time *. 1000.)
+  in
+  Cmd.v
+    (Cmd.info "covers" ~doc:"Explore the safe and generalized cover spaces of a query.")
+    Term.(const run $ facts_arg $ seed_arg $ data_arg $ rdf_arg $ tbox_arg
+          $ query_string_arg $ query_arg)
+
+(* {1 check} *)
+
+let check_cmd =
+  let run facts seed data rdf tbox_file =
+    let tbox, abox = load_kb rdf tbox_file data facts seed in
+    let kb = Dllite.Kb.make tbox abox in
+    match Dllite.Kb.check_consistency kb with
+    | None -> Fmt.pr "consistent (%a)@." Dllite.Abox.pp_stats abox
+    | Some v ->
+      Fmt.pr "INCONSISTENT: %a@." Dllite.Kb.pp_violation v;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Consistency-check an ABox against its TBox.")
+    Term.(const run $ facts_arg $ seed_arg $ data_arg $ rdf_arg $ tbox_arg)
+
+let saturate_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let run facts seed data rdf tbox_file out =
+    let tbox, abox = load_kb rdf tbox_file data facts seed in
+    let t0 = Unix.gettimeofday () in
+    let saturated = Dllite.Saturate.abox tbox abox in
+    Fmt.pr "saturated %d -> %d facts in %.0f ms@." (Dllite.Abox.size abox)
+      (Dllite.Abox.size saturated)
+      ((Unix.gettimeofday () -. t0) *. 1000.);
+    Dllite.Abox.save saturated out;
+    Fmt.pr "wrote %s@." out
+  in
+  Cmd.v
+    (Cmd.info "saturate"
+       ~doc:"Materialise all entailed facts over named individuals (sound but \
+             incomplete w.r.t. existential witnesses).")
+    Term.(const run $ facts_arg $ seed_arg $ data_arg $ rdf_arg $ tbox_arg $ out_arg)
+
+let () =
+  let info =
+    Cmd.info "obda-cli" ~version:"1.0.0"
+      ~doc:"Cost-based cover reformulation for DL-LiteR query answering."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; workload_cmd; answer_cmd; explain_cmd; covers_cmd; check_cmd; saturate_cmd ]))

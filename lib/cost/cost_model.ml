@@ -1,0 +1,129 @@
+open Query
+open Rdbms
+
+type t = {
+  c_access : float;
+  c_join : float;
+  c_out : float;
+  c_distinct : float;
+  c_mat : float;
+}
+
+let default =
+  { c_access = 1.0; c_join = 1.0; c_out = 0.5; c_distinct = 1.0; c_mat = 1.5 }
+
+(* Calibration: DB2's runtime support for repeated scans ([21]) makes
+   the marginal access cheaper; Postgres pays full price per access. *)
+let calibrated = function
+  | `Pglite -> default
+  | `Db2lite -> { default with c_access = 0.6; c_mat = 1.2 }
+
+(* Access cost of one atom: full scan, or index access when a constant
+   restricts a column (the model "compares all applicable indexes"). *)
+let access_rows layout atom =
+  let card p = float_of_int (Layout.role_card layout p) in
+  match atom with
+  | Atom.Ca (_, Term.Cst _) -> 1.
+  | Atom.Ca (p, _) -> float_of_int (Layout.concept_card layout p)
+  | Atom.Ra (_, Term.Cst _, Term.Cst _) -> 1.
+  | Atom.Ra (p, Term.Cst _, Term.Var _) ->
+    let s, _ = Layout.role_ndv layout p in
+    card p /. Float.max 1. (float_of_int s)
+  | Atom.Ra (p, Term.Var _, Term.Cst _) ->
+    let _, o = Layout.role_ndv layout p in
+    card p /. Float.max 1. (float_of_int o)
+  | Atom.Ra (p, _, _) -> card p
+
+let cq_cost model layout cq =
+  match Estimate.order_atoms layout (Cq.atoms cq) with
+  | [] -> 0.
+  | first :: rest ->
+    let e0 = Estimate.atom layout first in
+    let cost0 = model.c_access *. access_rows layout first in
+    let _, total =
+      List.fold_left
+        (fun (cur, cost) atom ->
+          let e = Estimate.atom layout atom in
+          let joined = Estimate.join cur e in
+          let access = model.c_access *. access_rows layout atom in
+          let join_cost = model.c_join *. (cur.Estimate.rows +. e.Estimate.rows) in
+          let out_cost = model.c_out *. joined.Estimate.rows in
+          joined, cost +. access +. join_cost +. out_cost)
+        (e0, cost0) rest
+    in
+    total
+
+let rec fol_rows layout = function
+  | Fol.Leaf { ucq; _ } ->
+    List.fold_left
+      (fun acc d -> acc +. Estimate.cq_rows layout (Cq.atoms d))
+      0. (Ucq.disjuncts ucq)
+  | Fol.Union { branches; _ } ->
+    List.fold_left (fun acc b -> acc +. fol_rows layout b) 0. branches
+  | Fol.Join { parts; _ } ->
+    (* independence across fragments, bounded by the smallest part *)
+    List.fold_left (fun acc p -> Float.min acc (fol_rows layout p)) infinity parts
+
+let rec fol_cost model layout fol =
+  match fol with
+  | Fol.Leaf { ucq; _ } ->
+    let rows = fol_rows layout fol in
+    let arms =
+      List.fold_left
+        (fun acc d -> acc +. cq_cost model layout d)
+        0. (Ucq.disjuncts ucq)
+    in
+    arms +. (model.c_distinct *. rows)
+  | Fol.Union { branches; _ } ->
+    let rows = fol_rows layout fol in
+    List.fold_left (fun acc b -> acc +. fol_cost model layout b) 0. branches
+    +. (model.c_distinct *. rows)
+  | Fol.Join { parts; _ } ->
+    let part_costs =
+      List.fold_left
+        (fun acc p -> acc +. fol_cost model layout p +. (model.c_mat *. fol_rows layout p))
+        0. parts
+    in
+    (* greedy connected ordering mirroring the planner: joining two
+       fragments sharing output variables shrinks the intermediate
+       (containment assumption); a cross product multiplies it *)
+    let vars p =
+      List.filter_map
+        (fun t -> match t with Query.Term.Var v -> Some v | Query.Term.Cst _ -> None)
+        (Fol.out p)
+    in
+    let sized = List.map (fun p -> vars p, fol_rows layout p) parts in
+    let join_cost =
+      match List.stable_sort (fun (_, r1) (_, r2) -> Float.compare r1 r2) sized with
+      | [] -> 0.
+      | (v0, r0) :: rest ->
+        let rec grow cur_vars cur_rows cost remaining =
+          match remaining with
+          | [] -> cost
+          | _ ->
+            let connected, isolated =
+              List.partition
+                (fun (vs, _) -> List.exists (fun c -> List.mem c cur_vars) vs)
+                remaining
+            in
+            let pool = if connected = [] then isolated else connected in
+            let (vs, r), rest' =
+              match pool with
+              | first :: _ ->
+                first, List.filter (fun x -> x != first) remaining
+              | [] -> assert false
+            in
+            let out_rows =
+              if connected = [] then cur_rows *. r
+              else Float.min cur_rows r
+            in
+            grow
+              (cur_vars @ vs)
+              out_rows
+              (cost +. (model.c_join *. (cur_rows +. r)) +. (model.c_out *. out_rows))
+              rest'
+        in
+        grow v0 r0 0. rest
+    in
+    let out = fol_rows layout fol in
+    part_costs +. join_cost +. (model.c_distinct *. out)

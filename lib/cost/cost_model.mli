@@ -1,0 +1,31 @@
+(** The external ("ext") cost estimation of §6.1: textbook formulas
+    over table statistics (cardinalities and per-attribute distinct
+    counts), under the uniform-distribution and independent-predicates
+    assumptions. Joins are assumed linear in their input sizes (hash
+    joins); data access compares the applicable indexes. Unlike the
+    engines' native estimators it treats queries of all sizes
+    uniformly — no sampling shortcut — which is why it beats Postgres'
+    estimation on the very large reformulations of Q9–Q11 (§6.3). *)
+
+type t = {
+  c_access : float;  (** per row retrieved from a base table *)
+  c_join : float;  (** per input row of a (linear-time) join *)
+  c_out : float;  (** per output row of any operator *)
+  c_distinct : float;  (** per row of duplicate elimination *)
+  c_mat : float;  (** per materialised row (WITH fragments) *)
+}
+
+val default : t
+
+val calibrated : [ `Pglite | `Db2lite ] -> t
+(** Constants empirically calibrated per target engine, as the paper
+    calibrates its Java cost model for Postgres and DB2. *)
+
+val cq_cost : t -> Rdbms.Layout.t -> Query.Cq.t -> float
+
+val fol_cost : t -> Rdbms.Layout.t -> Query.Fol.t -> float
+(** Estimated evaluation cost of a FOL reformulation, including
+    fragment materialisation and the top-level join. *)
+
+val fol_rows : Rdbms.Layout.t -> Query.Fol.t -> float
+(** Estimated answer cardinality. *)

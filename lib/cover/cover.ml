@@ -1,0 +1,120 @@
+open Query
+module Iset = Set.Make (Int)
+
+type fragment = Iset.t
+
+type t = {
+  query : Cq.t;
+  fragments : fragment list;
+}
+
+let sort_fragments fs = List.sort_uniq Iset.compare fs
+
+let of_fragments query fragments =
+  let n = Cq.atom_count query in
+  let fragments = sort_fragments fragments in
+  if fragments = [] then invalid_arg "Cover.make: no fragments";
+  List.iter
+    (fun f ->
+      if Iset.is_empty f then invalid_arg "Cover.make: empty fragment";
+      Iset.iter
+        (fun i ->
+          if i < 0 || i >= n then
+            Fmt.invalid_arg "Cover.make: atom index %d out of range" i)
+        f)
+    fragments;
+  let covered = List.fold_left Iset.union Iset.empty fragments in
+  if Iset.cardinal covered <> n then invalid_arg "Cover.make: atoms not covered";
+  List.iteri
+    (fun i f ->
+      List.iteri
+        (fun j f' ->
+          if i <> j && Iset.subset f f' then
+            invalid_arg "Cover.make: fragment included in another")
+        fragments)
+    fragments;
+  { query; fragments }
+
+let make query lists =
+  of_fragments query (List.map (fun l -> Iset.of_list l) lists)
+
+let single_fragment query =
+  let n = Cq.atom_count query in
+  of_fragments query [ Iset.of_list (List.init n Fun.id) ]
+
+let atom_per_fragment query =
+  let n = Cq.atom_count query in
+  of_fragments query (List.init n (fun i -> Iset.singleton i))
+
+let fragments c = c.fragments
+
+let fragment_count c = List.length c.fragments
+
+let is_partition c =
+  let total = List.fold_left (fun n f -> n + Iset.cardinal f) 0 c.fragments in
+  total = Cq.atom_count c.query
+
+let atom_array c = Array.of_list (Cq.atoms c.query)
+
+let fragment_atoms c f =
+  let atoms = atom_array c in
+  List.map (fun i -> atoms.(i)) (Iset.elements f)
+
+let fragment_connected c f =
+  match Iset.elements f with
+  | [] -> false
+  | [ _ ] -> true
+  | first :: _ as elems ->
+    let atoms = atom_array c in
+    let seen = ref (Iset.singleton first) in
+    let rec grow frontier =
+      match frontier with
+      | [] -> ()
+      | i :: rest ->
+        let next = ref rest in
+        List.iter
+          (fun j ->
+            if (not (Iset.mem j !seen)) && Atom.shares_var atoms.(i) atoms.(j) then begin
+              seen := Iset.add j !seen;
+              next := j :: !next
+            end)
+          elems;
+        grow !next
+    in
+    grow [ first ];
+    Iset.equal !seen f
+
+let all_fragments_connected c = List.for_all (fragment_connected c) c.fragments
+
+(* Definition 2: free variables of q in the fragment, plus existential
+   variables shared with another fragment. *)
+let fragment_head c f =
+  let atoms = atom_array c in
+  let vars_of frag =
+    Iset.fold (fun i acc -> Term.Set.union acc (Atom.vars atoms.(i))) frag Term.Set.empty
+  in
+  let own = vars_of f in
+  let head_vars = Cq.head_vars c.query in
+  let others =
+    List.fold_left
+      (fun acc f' ->
+        if Iset.equal f' f then acc else Term.Set.union acc (vars_of f'))
+      Term.Set.empty c.fragments
+  in
+  Term.Set.elements (Term.Set.inter own (Term.Set.union head_vars others))
+
+let fragment_query c f =
+  let head = fragment_head c f in
+  Cq.make ~name:(c.query.Cq.name ^ "_f") ~head ~body:(fragment_atoms c f) ()
+
+let fragment_queries c = List.map (fragment_query c) c.fragments
+
+let compare c1 c2 = List.compare Iset.compare c1.fragments c2.fragments
+
+let equal c1 c2 = compare c1 c2 = 0
+
+let pp_fragment ppf f =
+  Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any ",") Fmt.int) (Iset.elements f)
+
+let pp ppf c =
+  Fmt.pf ppf "cover[%a]" (Fmt.list ~sep:(Fmt.any ";") pp_fragment) c.fragments

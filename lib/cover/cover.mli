@@ -1,0 +1,56 @@
+(** Query covers (Definition 1 of the paper): a set of fragments — non
+    empty subsets of the atoms of a CQ — that together cover all atoms,
+    with no fragment included in another. Fragments are identified by
+    the {e indexes} of the atoms of the query they contain. *)
+
+module Iset : Set.S with type elt = int
+
+type fragment = Iset.t
+
+type t = private {
+  query : Query.Cq.t;
+  fragments : fragment list;  (** sorted for canonical comparison *)
+}
+
+val make : Query.Cq.t -> int list list -> t
+(** Builds a cover from lists of atom indexes. Raises
+    [Invalid_argument] when a fragment is empty or out of range, when
+    the fragments do not cover all atoms, or when one fragment is
+    included in another. *)
+
+val of_fragments : Query.Cq.t -> fragment list -> t
+
+val single_fragment : Query.Cq.t -> t
+(** The trivial one-fragment cover; always safe (Theorem 1 remark). *)
+
+val atom_per_fragment : Query.Cq.t -> t
+(** The finest cover: one fragment per atom. *)
+
+val fragments : t -> fragment list
+
+val fragment_count : t -> int
+
+val is_partition : t -> bool
+
+val fragment_atoms : t -> fragment -> Query.Atom.t list
+
+val fragment_connected : t -> fragment -> bool
+(** Whether the atoms of the fragment are connected through shared
+    variables (condition (iii) of Definition 1). *)
+
+val all_fragments_connected : t -> bool
+
+val fragment_query : t -> fragment -> Query.Cq.t
+(** The fragment query [q|fi] (Definition 2): body = atoms of the
+    fragment; head = free variables of the query occurring in the
+    fragment, plus existential variables shared with another
+    fragment. *)
+
+val fragment_queries : t -> Query.Cq.t list
+
+val compare : t -> t -> int
+(** Canonical syntactic order over covers of the same query. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

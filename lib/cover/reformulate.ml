@@ -1,0 +1,34 @@
+open Query
+
+type fragment_language =
+  | Ucq_fragments
+  | Uscq_fragments
+
+let ucq tbox q =
+  let u = Reform.Perfectref.reformulate_cached tbox q in
+  Fol.leaf ~out:q.Cq.head u
+
+let reformulate_fragment language tbox fq =
+  match language with
+  | Ucq_fragments ->
+    Fol.leaf ~out:fq.Cq.head (Reform.Perfectref.reformulate_cached tbox fq)
+  | Uscq_fragments -> Reform.Uscq_reform.reformulate tbox fq
+
+let join_parts q parts =
+  match parts with
+  | [ single ] when List.equal Term.equal (Fol.out single) q.Cq.head -> single
+  | parts -> Fol.join ~out:q.Cq.head parts
+
+let of_cover ?(language = Ucq_fragments) tbox cover =
+  let q = cover.Cover.query in
+  let parts =
+    List.map (reformulate_fragment language tbox) (Cover.fragment_queries cover)
+  in
+  join_parts q parts
+
+let of_generalized ?(language = Ucq_fragments) tbox gcover =
+  let q = gcover.Generalized.query in
+  let parts =
+    List.map (reformulate_fragment language tbox) (Generalized.fragment_queries gcover)
+  in
+  join_parts q parts

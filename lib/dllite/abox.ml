@@ -1,0 +1,153 @@
+(* Growable arrays of ints and int pairs, private to the ABox. *)
+module Ivec = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create () = { data = Array.make 16 0; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let grown = Array.make (2 * v.len) 0 in
+      Array.blit v.data 0 grown 0 v.len;
+      v.data <- grown
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let to_array v = Array.sub v.data 0 v.len
+end
+
+module Pvec = struct
+  type t = { mutable data : (int * int) array; mutable len : int }
+
+  let create () = { data = Array.make 16 (0, 0); len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let grown = Array.make (2 * v.len) (0, 0) in
+      Array.blit v.data 0 grown 0 v.len;
+      v.data <- grown
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let to_array v = Array.sub v.data 0 v.len
+end
+
+type t = {
+  dict : Dict.t;
+  concepts : (string, Ivec.t) Hashtbl.t;
+  roles : (string, Pvec.t) Hashtbl.t;
+  mutable concept_count : int;
+  mutable role_count : int;
+}
+
+let create () =
+  {
+    dict = Dict.create ();
+    concepts = Hashtbl.create 64;
+    roles = Hashtbl.create 64;
+    concept_count = 0;
+    role_count = 0;
+  }
+
+let add_concept t ~concept ~ind =
+  let vec =
+    match Hashtbl.find_opt t.concepts concept with
+    | Some v -> v
+    | None ->
+      let v = Ivec.create () in
+      Hashtbl.add t.concepts concept v;
+      v
+  in
+  Ivec.push vec (Dict.encode t.dict ind);
+  t.concept_count <- t.concept_count + 1
+
+let add_role t ~role ~subj ~obj =
+  let vec =
+    match Hashtbl.find_opt t.roles role with
+    | Some v -> v
+    | None ->
+      let v = Pvec.create () in
+      Hashtbl.add t.roles role v;
+      v
+  in
+  let s = Dict.encode t.dict subj in
+  let o = Dict.encode t.dict obj in
+  Pvec.push vec (s, o);
+  t.role_count <- t.role_count + 1
+
+let of_assertions ~concepts ~roles =
+  let t = create () in
+  List.iter (fun (concept, ind) -> add_concept t ~concept ~ind) concepts;
+  List.iter (fun (role, subj, obj) -> add_role t ~role ~subj ~obj) roles;
+  t
+
+let dict t = t.dict
+
+let concept_names t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.concepts [])
+
+let role_names t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.roles [])
+
+let concept_members t name =
+  match Hashtbl.find_opt t.concepts name with
+  | Some v -> Ivec.to_array v
+  | None -> [||]
+
+let role_pairs t name =
+  match Hashtbl.find_opt t.roles name with
+  | Some v -> Pvec.to_array v
+  | None -> [||]
+
+let concept_assertion_count t = t.concept_count
+
+let role_assertion_count t = t.role_count
+
+let size t = t.concept_count + t.role_count
+
+let individual_count t = Dict.size t.dict
+
+let to_channel oc t =
+  List.iter
+    (fun name ->
+      Array.iter
+        (fun code -> Printf.fprintf oc "C %s %s\n" name (Dict.decode t.dict code))
+        (concept_members t name))
+    (concept_names t);
+  List.iter
+    (fun name ->
+      Array.iter
+        (fun (s, o) ->
+          Printf.fprintf oc "R %s %s %s\n" name (Dict.decode t.dict s)
+            (Dict.decode t.dict o))
+        (role_pairs t name))
+    (role_names t)
+
+let of_channel ic =
+  let t = create () in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match String.split_on_char ' ' (String.trim line) with
+         | [ "C"; concept; ind ] -> add_concept t ~concept ~ind
+         | [ "R"; role; subj; obj ] -> add_role t ~role ~subj ~obj
+         | _ -> failwith ("Abox.of_channel: malformed line: " ^ line)
+     done
+   with End_of_file -> ());
+  t
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc t)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)
+
+let pp_stats ppf t =
+  Fmt.pf ppf
+    "ABox: %d facts (%d concept, %d role), %d individuals, %d concepts, %d roles"
+    (size t) t.concept_count t.role_count (individual_count t)
+    (Hashtbl.length t.concepts) (Hashtbl.length t.roles)

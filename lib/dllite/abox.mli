@@ -1,0 +1,57 @@
+(** ABoxes: finite sets of concept assertions [A(a)] and role
+    assertions [R(a,b)], dictionary-encoded for compactness. The ABox
+    is the database of explicit facts queries are evaluated against. *)
+
+type t
+
+val create : unit -> t
+
+val add_concept : t -> concept:string -> ind:string -> unit
+(** Asserts [concept(ind)]. Duplicates are allowed and removed when the
+    ABox is loaded into a storage layout. *)
+
+val add_role : t -> role:string -> subj:string -> obj:string -> unit
+(** Asserts [role(subj, obj)]. *)
+
+val of_assertions :
+  concepts:(string * string) list -> roles:(string * string * string) list -> t
+(** Convenience constructor for tests and examples:
+    [(A, a)] concept assertions and [(R, a, b)] role assertions. *)
+
+val dict : t -> Dict.t
+(** The individual dictionary (name ⟷ integer code). *)
+
+val concept_names : t -> string list
+(** Concept names having at least one assertion, sorted. *)
+
+val role_names : t -> string list
+
+val concept_members : t -> string -> int array
+(** Codes of the asserted members of a concept (possibly with
+    duplicates, in insertion order); [||] if none. *)
+
+val role_pairs : t -> string -> (int * int) array
+(** Asserted pairs of a role; [||] if none. *)
+
+val concept_assertion_count : t -> int
+
+val role_assertion_count : t -> int
+
+val size : t -> int
+(** Total number of assertions (concept + role). *)
+
+val individual_count : t -> int
+
+val pp_stats : Format.formatter -> t -> unit
+
+val to_channel : out_channel -> t -> unit
+(** Serialises the ABox as one assertion per line: [C <concept> <ind>]
+    or [R <role> <subj> <obj>] (names must not contain blanks). *)
+
+val of_channel : in_channel -> t
+(** Reads the format written by {!to_channel}. Raises [Failure] on a
+    malformed line. *)
+
+val save : t -> string -> unit
+
+val load : string -> t

@@ -1,0 +1,75 @@
+type t =
+  | Concept_sub of Concept.t * Concept.t
+  | Concept_disj of Concept.t * Concept.t
+  | Role_sub of Role.t * Role.t
+  | Role_disj of Role.t * Role.t
+
+let is_positive = function
+  | Concept_sub _ | Role_sub _ -> true
+  | Concept_disj _ | Role_disj _ -> false
+
+let table3_form = function
+  | Concept_sub (Concept.Atomic _, Concept.Atomic _) -> Some 1
+  | Concept_sub (Concept.Atomic _, Concept.Exists (Role.Named _)) -> Some 2
+  | Concept_sub (Concept.Atomic _, Concept.Exists (Role.Inverse _)) -> Some 3
+  | Concept_sub (Concept.Exists (Role.Named _), Concept.Atomic _) -> Some 4
+  | Concept_sub (Concept.Exists (Role.Inverse _), Concept.Atomic _) -> Some 5
+  | Concept_sub (Concept.Exists (Role.Named _), Concept.Exists (Role.Named _)) -> Some 6
+  | Concept_sub (Concept.Exists (Role.Named _), Concept.Exists (Role.Inverse _)) ->
+    Some 7
+  | Concept_sub (Concept.Exists (Role.Inverse _), Concept.Exists (Role.Named _)) ->
+    Some 8
+  | Concept_sub (Concept.Exists (Role.Inverse _), Concept.Exists (Role.Inverse _)) ->
+    Some 9
+  | Role_sub (Role.Named _, Role.Inverse _) | Role_sub (Role.Inverse _, Role.Named _)
+    -> Some 10
+  | Role_sub (Role.Named _, Role.Named _) | Role_sub (Role.Inverse _, Role.Inverse _)
+    -> Some 11
+  | Concept_disj _ | Role_disj _ -> None
+
+let concept_fol var = function
+  | Concept.Atomic a -> Printf.sprintf "%s(%s)" a var
+  | Concept.Exists (Role.Named p) -> Printf.sprintf "exists w %s(%s,w)" p var
+  | Concept.Exists (Role.Inverse p) -> Printf.sprintf "exists w %s(w,%s)" p var
+
+let role_fol x y = function
+  | Role.Named p -> Printf.sprintf "%s(%s,%s)" p x y
+  | Role.Inverse p -> Printf.sprintf "%s(%s,%s)" p y x
+
+let to_fol_string = function
+  | Concept_sub (b1, b2) ->
+    Printf.sprintf "forall x [%s => %s]" (concept_fol "x" b1) (concept_fol "x" b2)
+  | Concept_disj (b1, b2) ->
+    Printf.sprintf "forall x [%s => not %s]" (concept_fol "x" b1) (concept_fol "x" b2)
+  | Role_sub (r1, r2) ->
+    Printf.sprintf "forall x,y [%s => %s]" (role_fol "x" "y" r1) (role_fol "x" "y" r2)
+  | Role_disj (r1, r2) ->
+    Printf.sprintf "forall x,y [%s => not %s]" (role_fol "x" "y" r1)
+      (role_fol "x" "y" r2)
+
+let compare a1 a2 =
+  let tag = function
+    | Concept_sub _ -> 0
+    | Concept_disj _ -> 1
+    | Role_sub _ -> 2
+    | Role_disj _ -> 3
+  in
+  match a1, a2 with
+  | Concept_sub (x1, y1), Concept_sub (x2, y2)
+  | Concept_disj (x1, y1), Concept_disj (x2, y2) ->
+    let c = Concept.compare x1 x2 in
+    if c <> 0 then c else Concept.compare y1 y2
+  | Role_sub (x1, y1), Role_sub (x2, y2) | Role_disj (x1, y1), Role_disj (x2, y2) ->
+    let c = Role.compare x1 x2 in
+    if c <> 0 then c else Role.compare y1 y2
+  | _ -> Int.compare (tag a1) (tag a2)
+
+let equal a1 a2 = compare a1 a2 = 0
+
+let pp ppf = function
+  | Concept_sub (b1, b2) -> Fmt.pf ppf "%a <= %a" Concept.pp b1 Concept.pp b2
+  | Concept_disj (b1, b2) -> Fmt.pf ppf "%a <= not %a" Concept.pp b1 Concept.pp b2
+  | Role_sub (r1, r2) -> Fmt.pf ppf "%a <= %a" Role.pp r1 Role.pp r2
+  | Role_disj (r1, r2) -> Fmt.pf ppf "%a <= not %a" Role.pp r1 Role.pp r2
+
+let to_string a = Fmt.str "%a" pp a

@@ -1,0 +1,30 @@
+(** TBox axioms of DL-LiteR.
+
+    Positive inclusions are the 11 negation-free forms of Table 3 of
+    the paper (concept inclusions between basic concepts, and role
+    inclusions over [N_R±]); negative inclusions add the corresponding
+    disjointness forms, for 22 constraint forms in total. *)
+
+type t =
+  | Concept_sub of Concept.t * Concept.t  (** [B1 ⊑ B2] *)
+  | Concept_disj of Concept.t * Concept.t  (** [B1 ⊑ ¬B2] *)
+  | Role_sub of Role.t * Role.t  (** [R1 ⊑ R2] *)
+  | Role_disj of Role.t * Role.t  (** [R1 ⊑ ¬R2] *)
+
+val is_positive : t -> bool
+
+val table3_form : t -> int option
+(** For a positive inclusion, its row number (1–11) in Table 3 of the
+    paper; [None] for negative inclusions. *)
+
+val to_fol_string : t -> string
+(** The first-order reading of the axiom, e.g.
+    ["forall x [A(x) => exists y R(x,y)]"]. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,196 @@
+type obj =
+  | I of string
+  | N of int
+
+module Obj_set = Set.Make (struct
+  type t = obj
+
+  let compare = compare
+end)
+
+module Pair_set = Set.Make (struct
+  type t = obj * obj
+
+  let compare = compare
+end)
+
+module Smap = Map.Make (String)
+
+type store = {
+  mutable cext : Obj_set.t Smap.t;
+  mutable rext : Pair_set.t Smap.t;
+  mutable firsts : Obj_set.t Smap.t;  (* per role name: subjects *)
+  mutable seconds : Obj_set.t Smap.t;  (* per role name: objects *)
+  depth : (obj, int) Hashtbl.t;
+  mutable next_null : int;
+  mutable changed : bool;
+}
+
+let get m k = Option.value ~default:Obj_set.empty (Smap.find_opt k m)
+
+let get_pairs m k = Option.value ~default:Pair_set.empty (Smap.find_opt k m)
+
+let obj_depth st x = Option.value ~default:0 (Hashtbl.find_opt st.depth x)
+
+let add_concept_fact st a x =
+  let cur = get st.cext a in
+  if not (Obj_set.mem x cur) then begin
+    st.cext <- Smap.add a (Obj_set.add x cur) st.cext;
+    st.changed <- true
+  end
+
+let add_role_fact st p x y =
+  let cur = get_pairs st.rext p in
+  if not (Pair_set.mem (x, y) cur) then begin
+    st.rext <- Smap.add p (Pair_set.add (x, y) cur) st.rext;
+    st.firsts <- Smap.add p (Obj_set.add x (get st.firsts p)) st.firsts;
+    st.seconds <- Smap.add p (Obj_set.add y (get st.seconds p)) st.seconds;
+    st.changed <- true
+  end
+
+let fresh_null st parent_depth =
+  let id = st.next_null in
+  st.next_null <- id + 1;
+  let n = N id in
+  Hashtbl.replace st.depth n (parent_depth + 1);
+  n
+
+(* Instances of a basic concept in the current store. *)
+let instances st = function
+  | Concept.Atomic a -> get st.cext a
+  | Concept.Exists (Role.Named p) -> get st.firsts p
+  | Concept.Exists (Role.Inverse p) -> get st.seconds p
+
+let has_witness st role x =
+  match role with
+  | Role.Named p -> Pair_set.exists (fun (a, _) -> a = x) (get_pairs st.rext p)
+  | Role.Inverse p -> Pair_set.exists (fun (_, b) -> b = x) (get_pairs st.rext p)
+
+(* Asserts that [x] belongs to basic concept [b], creating a witness
+   null when [b] is existential and [x] has none yet (restricted
+   chase), unless the depth bound forbids it. *)
+let require st ~max_depth x b =
+  match b with
+  | Concept.Atomic a -> add_concept_fact st a x
+  | Concept.Exists r ->
+    if not (has_witness st r x) then
+      if obj_depth st x < max_depth then begin
+        let n = fresh_null st (obj_depth st x) in
+        match r with
+        | Role.Named p -> add_role_fact st p x n
+        | Role.Inverse p -> add_role_fact st p n x
+      end
+
+let role_ext_of st = function
+  | Role.Named p -> get_pairs st.rext p
+  | Role.Inverse p -> Pair_set.map (fun (a, b) -> b, a) (get_pairs st.rext p)
+
+let apply_axiom st ~max_depth = function
+  | Axiom.Concept_sub (b1, b2) ->
+    Obj_set.iter (fun x -> require st ~max_depth x b2) (instances st b1)
+  | Axiom.Role_sub (r1, r2) ->
+    Pair_set.iter
+      (fun (a, b) ->
+        match r2 with
+        | Role.Named p -> add_role_fact st p a b
+        | Role.Inverse p -> add_role_fact st p b a)
+      (role_ext_of st r1)
+  | Axiom.Concept_disj _ | Axiom.Role_disj _ -> ()
+
+let run tbox abox ~max_depth =
+  let st =
+    {
+      cext = Smap.empty;
+      rext = Smap.empty;
+      firsts = Smap.empty;
+      seconds = Smap.empty;
+      depth = Hashtbl.create 256;
+      next_null = 0;
+      changed = false;
+    }
+  in
+  let dict = Abox.dict abox in
+  List.iter
+    (fun a ->
+      Array.iter
+        (fun code -> add_concept_fact st a (I (Dict.decode dict code)))
+        (Abox.concept_members abox a))
+    (Abox.concept_names abox);
+  List.iter
+    (fun p ->
+      Array.iter
+        (fun (s, o) ->
+          add_role_fact st p (I (Dict.decode dict s)) (I (Dict.decode dict o)))
+        (Abox.role_pairs abox p))
+    (Abox.role_names abox);
+  let positives = Tbox.positive_axioms tbox in
+  let rec fixpoint () =
+    st.changed <- false;
+    List.iter (apply_axiom st ~max_depth) positives;
+    if st.changed then fixpoint ()
+  in
+  fixpoint ();
+  st
+
+let concept_extension st a = Obj_set.elements (get st.cext a)
+
+let role_extension st p = Pair_set.elements (get_pairs st.rext p)
+
+let fact_count st =
+  Smap.fold (fun _ s n -> n + Obj_set.cardinal s) st.cext 0
+  + Smap.fold (fun _ s n -> n + Pair_set.cardinal s) st.rext 0
+
+let null_count st = st.next_null
+
+(* CQ evaluation over the store by backtracking; bindings map variable
+   names to objects. *)
+let answers st (q : Query.Cq.t) =
+  let module SM = Map.Make (String) in
+  let bind_term binding t (x : obj) =
+    match t with
+    | Query.Term.Cst c -> if x = I c then Some binding else None
+    | Query.Term.Var v -> (
+      match SM.find_opt v binding with
+      | Some x' -> if x = x' then Some binding else None
+      | None -> Some (SM.add v x binding))
+  in
+  let results = ref [] in
+  let rec search binding = function
+    | [] ->
+      let tuple =
+        List.map
+          (fun t ->
+            match t with
+            | Query.Term.Cst c -> Some c
+            | Query.Term.Var v -> (
+              match SM.find_opt v binding with
+              | Some (I name) -> Some name
+              | Some (N _) | None -> None))
+          q.Query.Cq.head
+      in
+      if List.for_all Option.is_some tuple then
+        results := List.map Option.get tuple :: !results
+    | Query.Atom.Ca (a, t) :: rest ->
+      Obj_set.iter
+        (fun x ->
+          match bind_term binding t x with
+          | Some b -> search b rest
+          | None -> ())
+        (get st.cext a)
+    | Query.Atom.Ra (p, t1, t2) :: rest ->
+      Pair_set.iter
+        (fun (x, y) ->
+          match bind_term binding t1 x with
+          | None -> ()
+          | Some b -> (
+            match bind_term b t2 y with
+            | Some b' -> search b' rest
+            | None -> ()))
+        (get_pairs st.rext p)
+  in
+  search SM.empty q.Query.Cq.body;
+  List.sort_uniq compare !results
+
+let certain_answers tbox abox ?(extra_depth = 2) q =
+  let st = run tbox abox ~max_depth:(Query.Cq.atom_count q + extra_depth) in
+  answers st q

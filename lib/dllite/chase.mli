@@ -1,0 +1,38 @@
+(** Bounded restricted chase: materialises a finite prefix of the
+    canonical model of a DL-LiteR KB, introducing labelled nulls for
+    existential axioms up to a given depth.
+
+    The chase is the {e ground-truth oracle} used by the test suite:
+    certain answers of a connected CQ [q] over [⟨T,A⟩] coincide with
+    the answers of [q] over the chase, provided the depth bound is at
+    least the number of atoms of [q] (matches in the canonical model
+    use null chains no longer than the query). It is not meant to scale
+    to large ABoxes — reformulation-based query answering is the
+    scalable path. *)
+
+type obj =
+  | I of string  (** a named individual *)
+  | N of int  (** a labelled null *)
+
+type store
+
+val run : Tbox.t -> Abox.t -> max_depth:int -> store
+(** Chases the ABox under the positive TBox axioms; nulls deeper than
+    [max_depth] are not expanded further. *)
+
+val concept_extension : store -> string -> obj list
+
+val role_extension : store -> string -> (obj * obj) list
+
+val fact_count : store -> int
+
+val null_count : store -> int
+
+val answers : store -> Query.Cq.t -> string list list
+(** Evaluates a CQ homomorphically over the chased store, keeping only
+    answer tuples made of named individuals. Sorted, duplicate-free. *)
+
+val certain_answers :
+  Tbox.t -> Abox.t -> ?extra_depth:int -> Query.Cq.t -> string list list
+(** [certain_answers tbox abox q] chases to depth
+    [atom_count q + extra_depth] (default 2) and evaluates [q]. *)

@@ -1,0 +1,33 @@
+type t =
+  | Atomic of string
+  | Exists of Role.t
+
+let atomic a = Atomic a
+
+let exists r = Exists r
+
+let cr = function Atomic a -> a | Exists r -> Role.name r
+
+let compare c1 c2 =
+  match c1, c2 with
+  | Atomic a1, Atomic a2 -> String.compare a1 a2
+  | Exists r1, Exists r2 -> Role.compare r1 r2
+  | Atomic _, Exists _ -> -1
+  | Exists _, Atomic _ -> 1
+
+let equal c1 c2 = compare c1 c2 = 0
+
+let to_string = function
+  | Atomic a -> a
+  | Exists r -> "∃" ^ Role.to_string r
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

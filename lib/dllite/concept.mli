@@ -1,0 +1,28 @@
+(** Basic concepts of DL-LiteR: atomic concepts [A], and unqualified
+    existential restrictions [∃R] / [∃R⁻] (the projection of a role on
+    its first, resp. second, attribute). *)
+
+type t =
+  | Atomic of string  (** concept name [A] *)
+  | Exists of Role.t  (** [∃R] for a role or inverse role [R] *)
+
+val atomic : string -> t
+
+val exists : Role.t -> t
+
+val cr : t -> string
+(** The concept or role {e name} a basic concept is built from — the
+    [cr(·)] function of Definition 4: [cr A = A], [cr (∃P) = P],
+    [cr (∃P⁻) = P]. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t

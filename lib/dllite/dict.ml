@@ -1,0 +1,30 @@
+type t = {
+  codes : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable next : int;
+}
+
+let create () = { codes = Hashtbl.create 1024; names = Array.make 1024 ""; next = 0 }
+
+let encode d s =
+  match Hashtbl.find_opt d.codes s with
+  | Some c -> c
+  | None ->
+    let c = d.next in
+    if c >= Array.length d.names then begin
+      let grown = Array.make (2 * Array.length d.names) "" in
+      Array.blit d.names 0 grown 0 c;
+      d.names <- grown
+    end;
+    d.names.(c) <- s;
+    d.next <- c + 1;
+    Hashtbl.add d.codes s c;
+    c
+
+let find d s = Hashtbl.find_opt d.codes s
+
+let decode d c =
+  if c < 0 || c >= d.next then Fmt.invalid_arg "Dict.decode: unknown code %d" c
+  else d.names.(c)
+
+let size d = d.next

@@ -1,0 +1,18 @@
+(** Dictionary encoding of individual names into dense integers, as
+    customary in efficient Semantic Web stores (§6.1 of the paper). *)
+
+type t
+
+val create : unit -> t
+
+val encode : t -> string -> int
+(** Returns the code of the string, allocating a fresh one if needed. *)
+
+val find : t -> string -> int option
+(** Looks up a code without allocating. *)
+
+val decode : t -> int -> string
+(** Raises [Invalid_argument] on an unknown code. *)
+
+val size : t -> int
+(** Number of distinct encoded strings. *)

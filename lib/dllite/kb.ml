@@ -1,0 +1,157 @@
+type t = {
+  tbox : Tbox.t;
+  abox : Abox.t;
+}
+
+let make tbox abox = { tbox; abox }
+
+let tbox t = t.tbox
+
+let abox t = t.abox
+
+type violation =
+  | Disjoint_concept_violation of string * Concept.t * Concept.t
+  | Unsatisfiable_concept_instance of string * Concept.t
+  | Disjoint_role_violation of string * string * Role.t * Role.t
+
+let pp_violation ppf = function
+  | Disjoint_concept_violation (a, b1, b2) ->
+    Fmt.pf ppf "individual %s belongs to disjoint concepts %a and %a" a Concept.pp
+      b1 Concept.pp b2
+  | Unsatisfiable_concept_instance (a, b) ->
+    Fmt.pf ppf "individual %s belongs to unsatisfiable concept %a" a Concept.pp b
+  | Disjoint_role_violation (a, b, r1, r2) ->
+    Fmt.pf ppf "pair (%s,%s) belongs to disjoint roles %a and %a" a b Role.pp r1
+      Role.pp r2
+
+(* The directly asserted basic types of every individual: A from A(a),
+   ∃R from R(a,_), ∃R⁻ from R(_,a). Subsumption closure is applied
+   lazily through Tbox entailment tests. *)
+let asserted_types t =
+  let types : (int, Concept.Set.t) Hashtbl.t = Hashtbl.create 1024 in
+  let add code c =
+    let cur = Option.value ~default:Concept.Set.empty (Hashtbl.find_opt types code) in
+    Hashtbl.replace types code (Concept.Set.add c cur)
+  in
+  List.iter
+    (fun name ->
+      let members = Abox.concept_members t.abox name in
+      Array.iter (fun code -> add code (Concept.Atomic name)) members)
+    (Abox.concept_names t.abox);
+  List.iter
+    (fun name ->
+      let pairs = Abox.role_pairs t.abox name in
+      Array.iter
+        (fun (s, o) ->
+          add s (Concept.Exists (Role.Named name));
+          add o (Concept.Exists (Role.Inverse name)))
+        pairs)
+    (Abox.role_names t.abox);
+  types
+
+let check_concept_violations t types =
+  let exception Found of violation in
+  try
+    Hashtbl.iter
+      (fun code tset ->
+        let name () = Dict.decode (Abox.dict t.abox) code in
+        Concept.Set.iter
+          (fun b ->
+            if Tbox.is_unsatisfiable t.tbox b then
+              raise (Found (Unsatisfiable_concept_instance (name (), b))))
+          tset;
+        let as_list = Concept.Set.elements tset in
+        let rec pairs = function
+          | [] -> ()
+          | b1 :: rest ->
+            List.iter
+              (fun b2 ->
+                if Tbox.disjoint_concepts t.tbox b1 b2 then
+                  raise (Found (Disjoint_concept_violation (name (), b1, b2))))
+              rest;
+            pairs rest
+        in
+        pairs as_list)
+      types;
+    None
+  with Found v -> Some v
+
+(* Role-level disjointness: materialise the entailed extension of each
+   role name that can reach a declared role-disjointness, then check
+   pairwise intersections. *)
+let check_role_violations t =
+  let module PSet = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let extension_cache : (string, PSet.t) Hashtbl.t = Hashtbl.create 16 in
+  let extension_of r =
+    (* Entailed pairs of role expression [r]: facts of every role name
+       P with P ⊑ r or P ⊑ r⁻ (the latter swapped). *)
+    let key = Role.to_string r in
+    match Hashtbl.find_opt extension_cache key with
+    | Some s -> s
+    | None ->
+      let s = ref PSet.empty in
+      List.iter
+        (fun p ->
+          let pairs = Abox.role_pairs t.abox p in
+          if Tbox.entails_role_sub t.tbox (Role.Named p) r then
+            Array.iter (fun pr -> s := PSet.add pr !s) pairs;
+          if Tbox.entails_role_sub t.tbox (Role.Inverse p) r then
+            Array.iter (fun (a, b) -> s := PSet.add (b, a) !s) pairs)
+        (Abox.role_names t.abox);
+      Hashtbl.replace extension_cache key !s;
+      !s
+  in
+  let declared =
+    List.filter_map
+      (function Axiom.Role_disj (r1, r2) -> Some (r1, r2) | _ -> None)
+      (Tbox.negative_axioms t.tbox)
+  in
+  let rec check = function
+    | [] -> None
+    | (r1, r2) :: rest -> (
+      let common = PSet.inter (extension_of r1) (extension_of r2) in
+      match PSet.choose_opt common with
+      | Some (a, b) ->
+        let d = Abox.dict t.abox in
+        Some (Disjoint_role_violation (Dict.decode d a, Dict.decode d b, r1, r2))
+      | None -> check rest)
+  in
+  check declared
+
+let check_consistency t =
+  match check_concept_violations t (asserted_types t) with
+  | Some v -> Some v
+  | None -> check_role_violations t
+
+let is_consistent t = Option.is_none (check_consistency t)
+
+let entailed_types t ind =
+  match Dict.find (Abox.dict t.abox) ind with
+  | None -> Concept.Set.empty
+  | Some code ->
+    let direct =
+      Option.value ~default:Concept.Set.empty (Hashtbl.find_opt (asserted_types t) code)
+    in
+    Concept.Set.fold
+      (fun b acc -> Concept.Set.union acc (Tbox.subsumers_of_concept t.tbox b))
+      direct Concept.Set.empty
+
+let entails_concept_assertion t ind name =
+  Concept.Set.mem (Concept.Atomic name) (entailed_types t ind)
+
+let entails_role_assertion t a b name =
+  match Dict.find (Abox.dict t.abox) a, Dict.find (Abox.dict t.abox) b with
+  | Some ca, Some cb ->
+    List.exists
+      (fun p ->
+        let pairs = Abox.role_pairs t.abox p in
+        (Tbox.entails_role_sub t.tbox (Role.Named p) (Role.Named name)
+        && Array.exists (fun pr -> pr = (ca, cb)) pairs)
+        || Tbox.entails_role_sub t.tbox (Role.Inverse p) (Role.Named name)
+           && Array.exists (fun pr -> pr = (cb, ca)) pairs)
+      (Abox.role_names t.abox)
+  | _ -> false

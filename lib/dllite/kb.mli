@@ -1,0 +1,37 @@
+(** Knowledge bases [K = ⟨T, A⟩] (Section 2.1 of the paper):
+    consistency checking and entailment of individual assertions. *)
+
+type t
+
+val make : Tbox.t -> Abox.t -> t
+
+val tbox : t -> Tbox.t
+
+val abox : t -> Abox.t
+
+type violation =
+  | Disjoint_concept_violation of string * Concept.t * Concept.t
+      (** individual, and the two entailed disjoint concepts *)
+  | Unsatisfiable_concept_instance of string * Concept.t
+      (** individual entailed to belong to an unsatisfiable concept *)
+  | Disjoint_role_violation of string * string * Role.t * Role.t
+      (** pair of individuals entailed to belong to two disjoint roles *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_consistency : t -> violation option
+(** [None] when the ABox is T-consistent; otherwise a witness
+    violation. Runs in time proportional to the number of facts times
+    the size of the relevant TBox closures. *)
+
+val is_consistent : t -> bool
+
+val entailed_types : t -> string -> Concept.Set.t
+(** All basic concepts [B] with [K ⊨ B(a)], for a named individual. *)
+
+val entails_concept_assertion : t -> string -> string -> bool
+(** [entails_concept_assertion kb a A] decides [K ⊨ A(a)]. *)
+
+val entails_role_assertion : t -> string -> string -> string -> bool
+(** [entails_role_assertion kb a b R] decides [K ⊨ R(a,b)] for a role
+    name [R]. *)

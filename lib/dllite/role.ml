@@ -1,0 +1,32 @@
+type t =
+  | Named of string
+  | Inverse of string
+
+let named p = Named p
+
+let inverse = function Named p -> Inverse p | Inverse p -> Named p
+
+let name = function Named p | Inverse p -> p
+
+let is_inverse = function Named _ -> false | Inverse _ -> true
+
+let compare r1 r2 =
+  match r1, r2 with
+  | Named p1, Named p2 | Inverse p1, Inverse p2 -> String.compare p1 p2
+  | Named _, Inverse _ -> -1
+  | Inverse _, Named _ -> 1
+
+let equal r1 r2 = compare r1 r2 = 0
+
+let to_string = function Named p -> p | Inverse p -> p ^ "-"
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

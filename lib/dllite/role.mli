@@ -1,0 +1,27 @@
+(** Roles of DL-LiteR: role names and their inverses ([N_R±]). *)
+
+type t =
+  | Named of string  (** a role name [P] *)
+  | Inverse of string  (** the inverse [P⁻] of role name [P] *)
+
+val named : string -> t
+
+val inverse : t -> t
+(** [inverse r] is [P⁻] for [P] and [P] for [P⁻]. *)
+
+val name : t -> string
+(** The underlying role name, for both [P] and [P⁻]. *)
+
+val is_inverse : t -> bool
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t

@@ -1,0 +1,35 @@
+let abox tbox src =
+  let store = Chase.run tbox src ~max_depth:0 in
+  let out = Abox.create () in
+  let name = function
+    | Chase.I s -> Some s
+    | Chase.N _ -> None
+  in
+  let concepts =
+    List.sort_uniq String.compare
+      (Abox.concept_names src @ Tbox.concept_names tbox)
+  in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun obj ->
+          match name obj with
+          | Some ind -> Abox.add_concept out ~concept:c ~ind
+          | None -> ())
+        (Chase.concept_extension store c))
+    concepts;
+  let roles =
+    List.sort_uniq String.compare (Abox.role_names src @ Tbox.role_names tbox)
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (s, o) ->
+          match name s, name o with
+          | Some subj, Some obj -> Abox.add_role out ~role:r ~subj ~obj
+          | _ -> ())
+        (Chase.role_extension store r))
+    roles;
+  out
+
+let added_facts tbox src = Abox.size (abox tbox src) - Abox.size src

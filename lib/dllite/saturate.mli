@@ -1,0 +1,21 @@
+(** ABox saturation — the classical {e materialisation} alternative to
+    reformulation-based query answering: all atomic facts entailed over
+    the {e named} individuals are computed once, and queries are then
+    plainly evaluated against the saturated database.
+
+    For DL-LiteR this is {b incomplete} in general: axioms [C ⊑ ∃R]
+    introduce unnamed witnesses that saturation cannot materialise, so
+    queries binding such witnesses lose answers (the benchmark
+    demonstrates this on the university workload). It is exact for
+    queries whose certain answers never depend on existential
+    witnesses — and it is the natural baseline the reformulation
+    approach of the paper should be compared against. *)
+
+val abox : Tbox.t -> Abox.t -> Abox.t
+(** The saturation of the ABox: every [A(a)] and [R(a,b)] with named
+    [a], [b] entailed by [⟨T, A⟩]. Implemented as the depth-0 chase
+    (no labelled nulls). The result is a fresh ABox with its own
+    dictionary. *)
+
+val added_facts : Tbox.t -> Abox.t -> int
+(** How many facts saturation adds. *)

@@ -1,0 +1,265 @@
+(* SplitMix64: a tiny, fast, deterministic PRNG. *)
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.of_int (seed * 2654435769 + 1) }
+
+  let next t =
+    let open Int64 in
+    t.state <- add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  let int t n =
+    if n <= 0 then 0 else Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 2) (Int64.of_int n))
+
+  let chance t p = int t 1000 < int_of_float (p *. 1000.)
+
+  let pick t l = List.nth l (int t (List.length l))
+end
+
+let subjects =
+  [
+    "ArtificialIntelligence"; "Databases"; "TheoryOfComputation"; "Systems";
+    "Networks"; "Security"; "Graphics"; "HumanComputerInteraction";
+    "SoftwareEngineering"; "Bioinformatics"; "Algebra"; "Geometry"; "Analysis";
+    "Statistics"; "Physics"; "Chemistry"; "Biology"; "Medicine"; "Economics";
+    "Robotics";
+  ]
+
+type gen = {
+  abox : Dllite.Abox.t;
+  rng : Rng.t;
+  mutable universities : string list;
+  mutable journals : string list;
+  mutable conferences : string list;
+  mutable agencies : string list;
+  mutable awards : string list;
+  mutable semesters : string list;
+}
+
+let cpt g concept ind = Dllite.Abox.add_concept g.abox ~concept ~ind
+
+let role g role subj obj = Dllite.Abox.add_role g.abox ~role ~subj ~obj
+
+let setup_globals g =
+  (* subjects are individuals of their own concept *)
+  List.iter (fun s -> cpt g s ("subj_" ^ s)) subjects;
+  g.journals <- List.init 20 (fun i -> Printf.sprintf "journal%d" i);
+  List.iter (fun j -> cpt g "Journal" j) g.journals;
+  g.conferences <- List.init 15 (fun i -> Printf.sprintf "conf%d" i);
+  List.iter (fun c -> cpt g "Conference" c) g.conferences;
+  g.agencies <- List.init 8 (fun i -> Printf.sprintf "agency%d" i);
+  List.iter (fun f -> cpt g "FundingAgency" f) g.agencies;
+  g.awards <- List.init 40 (fun i -> Printf.sprintf "award%d" i);
+  List.iter (fun a -> cpt g "Award" a) g.awards;
+  g.semesters <- [ "sem_fall"; "sem_spring"; "sem_summer" ];
+  List.iter (fun s -> cpt g "Semester" s) g.semesters
+
+let subject_individual g = "subj_" ^ Rng.pick g.rng subjects
+
+(* One department and all its content. *)
+let generate_department g ~univ ~dept_id =
+  let d = Printf.sprintf "%s_d%d" univ dept_id in
+  cpt g "Department" d;
+  role g "subOrganizationOf" d univ;
+  (* faculty *)
+  let faculty_of_rank rank count =
+    List.init count (fun i ->
+        let p = Printf.sprintf "%s_%s%d" d rank i in
+        (* incomplete data: sometimes the rank is only implicit *)
+        let named =
+          match rank with
+          | "full" -> "FullProfessor"
+          | "assoc" -> "AssociateProfessor"
+          | "asst" -> "AssistantProfessor"
+          | "lect" -> "Lecturer"
+          | _ -> "PostDoc"
+        in
+        if Rng.chance g.rng 0.85 then cpt g named p;
+        if Rng.chance g.rng 0.9 then role g "worksFor" p d;
+        if Rng.chance g.rng 0.3 then role g "memberOf" p univ;
+        role g "researchInterest" p (subject_individual g);
+        if Rng.chance g.rng 0.5 then
+          role g "doctoralDegreeFrom" p
+            (match g.universities with [] -> univ | us -> Rng.pick g.rng us);
+        p)
+  in
+  let fulls = faculty_of_rank "full" (2 + Rng.int g.rng 2) in
+  let assocs = faculty_of_rank "assoc" (2 + Rng.int g.rng 2) in
+  let assts = faculty_of_rank "asst" (2 + Rng.int g.rng 2) in
+  let lects = faculty_of_rank "lect" (1 + Rng.int g.rng 2) in
+  let postdocs = faculty_of_rank "postdoc" (1 + Rng.int g.rng 2) in
+  let professors = fulls @ assocs @ assts in
+  let faculty = professors @ lects @ postdocs in
+  (* the chair heads the department *)
+  (match fulls with
+  | chair :: _ ->
+    cpt g "Chair" chair;
+    role g "headOf" chair d
+  | [] -> ());
+  (* courses: taught by faculty *)
+  let courses =
+    List.concat_map
+      (fun p ->
+        List.init
+          (1 + Rng.int g.rng 2)
+          (fun i ->
+            let c = Printf.sprintf "%s_c_%s_%d" d (Filename.basename p) i in
+            let c = String.map (fun ch -> if ch = '/' then '_' else ch) c in
+            let kind = Rng.int g.rng 10 in
+            if kind < 3 then cpt g "GraduateCourse" c
+            else if kind < 8 then cpt g "UndergraduateCourse" c
+            else if kind < 9 then cpt g "Seminar" c
+            else cpt g "Course" c;
+            role g "teacherOf" p c;
+            if Rng.chance g.rng 0.8 then role g "offeredBy" c d;
+            if kind < 3 && Rng.chance g.rng 0.5 then
+              role g "scheduledIn" c (Rng.pick g.rng g.semesters);
+            c)
+          )
+      faculty
+  in
+  (* programs *)
+  let program = d ^ "_prog" in
+  cpt g "Program" program;
+  (* undergraduate students *)
+  let ug_count = 12 + Rng.int g.rng 8 in
+  for i = 0 to ug_count - 1 do
+    let s = Printf.sprintf "%s_ug%d" d i in
+    if Rng.chance g.rng 0.85 then cpt g "UndergraduateStudent" s;
+    role g "takesCourse" s (Rng.pick g.rng courses);
+    role g "takesCourse" s (Rng.pick g.rng courses);
+    if Rng.chance g.rng 0.3 then role g "enrolledIn" s program
+  done;
+  (* graduate students *)
+  let grads =
+    List.init
+      (5 + Rng.int g.rng 4)
+      (fun i ->
+        let s = Printf.sprintf "%s_grad%d" d i in
+        let advisor = Rng.pick g.rng professors in
+        let kind = Rng.int g.rng 10 in
+        if kind < 4 then begin
+          if Rng.chance g.rng 0.8 then cpt g "PhDStudent" s;
+          role g "advisor" s advisor
+        end
+        else if kind < 7 then cpt g "MastersStudent" s
+        else if kind < 9 then begin
+          cpt g "ResearchAssistant" s;
+          role g "advisor" s advisor
+        end
+        else begin
+          (* teaching assistants are recognisable through their duty *)
+          if Rng.chance g.rng 0.5 then cpt g "TeachingAssistant" s;
+          role g "teachingAssistantOf" s (Rng.pick g.rng courses)
+        end;
+        role g "takesCourse" s (Rng.pick g.rng courses);
+        if Rng.chance g.rng 0.4 then role g "hasDegree" s ("deg_" ^ s);
+        s)
+  in
+  (* research groups and projects *)
+  let projects =
+    List.init
+      (1 + Rng.int g.rng 2)
+      (fun i ->
+        let grp = Printf.sprintf "%s_group%d" d i in
+        let prj = Printf.sprintf "%s_proj%d" d i in
+        cpt g "ResearchGroup" grp;
+        if Rng.chance g.rng 0.7 then cpt g "ResearchProject" prj;
+        role g "researchProject" grp prj;
+        role g "fundedBy" prj (Rng.pick g.rng g.agencies);
+        prj)
+  in
+  List.iter
+    (fun s ->
+      if Rng.chance g.rng 0.6 then role g "worksOn" s (Rng.pick g.rng projects))
+    grads;
+  (* publications: professors author them, often with a student *)
+  List.iter
+    (fun p ->
+      for i = 0 to 1 + Rng.int g.rng 2 do
+        let pub = Printf.sprintf "%s_pub_%s_%d" d (Filename.basename p) i in
+        let pub = String.map (fun ch -> if ch = '/' then '_' else ch) pub in
+        let kind = Rng.int g.rng 10 in
+        if kind < 3 then begin
+          cpt g "JournalArticle" pub;
+          role g "publishedIn" pub (Rng.pick g.rng g.journals)
+        end
+        else if kind < 7 then begin
+          cpt g "ConferencePaper" pub;
+          role g "publishedIn" pub (Rng.pick g.rng g.conferences)
+        end
+        else if kind < 8 then cpt g "TechnicalReport" pub
+        else if kind < 9 then cpt g "Book" pub
+        else cpt g "WorkshopPaper" pub;
+        role g "publicationAuthor" pub p;
+        if Rng.chance g.rng 0.5 then role g "aboutSubject" pub (subject_individual g);
+        if grads <> [] && Rng.chance g.rng 0.5 then begin
+          let s = Rng.pick g.rng grads in
+          role g "publicationAuthor" pub s;
+          if Rng.chance g.rng 0.5 then role g "coAuthorWith" p s
+        end
+      done)
+    professors;
+  (* awards: sparse, on senior faculty *)
+  List.iter
+    (fun p -> if Rng.chance g.rng 0.3 then role g "hasAward" p (Rng.pick g.rng g.awards))
+    fulls;
+  (* thesis committees *)
+  if Rng.chance g.rng 0.7 then begin
+    let k = d ^ "_committee" in
+    cpt g "ThesisCommittee" k;
+    (match fulls with
+    | chair :: _ -> role g "chairs" chair k
+    | [] -> ());
+    List.iter
+      (fun p -> if Rng.chance g.rng 0.4 then role g "memberOfCommittee" p k)
+      professors;
+    List.iter
+      (fun s -> if Rng.chance g.rng 0.2 then role g "memberOfCommittee" s k)
+      grads
+  end;
+  (* alumni of the university *)
+  for i = 0 to Rng.int g.rng 3 do
+    let alum = Printf.sprintf "%s_alum%d" d i in
+    cpt g "Alumnus" alum;
+    let deg = Rng.pick g.rng [ "undergraduateDegreeFrom"; "mastersDegreeFrom"; "doctoralDegreeFrom" ] in
+    role g deg alum univ
+  done
+
+let generate ?(seed = 42) ~target_facts () =
+  let g =
+    {
+      abox = Dllite.Abox.create ();
+      rng = Rng.create seed;
+      universities = [];
+      journals = [];
+      conferences = [];
+      agencies = [];
+      awards = [];
+      semesters = [];
+    }
+  in
+  setup_globals g;
+  let uid = ref 0 in
+  while Dllite.Abox.size g.abox < target_facts do
+    let univ = Printf.sprintf "univ%d" !uid in
+    incr uid;
+    cpt g "University" univ;
+    g.universities <- univ :: g.universities;
+    let dept_count = 6 + Rng.int g.rng 6 in
+    let d = ref 0 in
+    while !d < dept_count && Dllite.Abox.size g.abox < target_facts do
+      generate_department g ~univ ~dept_id:!d;
+      incr d
+    done
+  done;
+  g.abox
+
+let scale_name facts =
+  if facts >= 1_000_000 then Printf.sprintf "LUBMe-%dM" (facts / 1_000_000)
+  else if facts >= 1_000 then Printf.sprintf "LUBMe-%dk" (facts / 1_000)
+  else Printf.sprintf "LUBMe-%d" facts

@@ -1,0 +1,19 @@
+(** Deterministic LUBM∃-style ABox generator — our stand-in for the
+    EUDG generator of §6.1. Universities contain departments, which
+    contain faculty, students, courses, research groups, committees and
+    publications, with LUBM-like ratios. The generated data is
+    {e incomplete on purpose}: many memberships are left implicit
+    (e.g. a professor may only be recognisable through her [teacherOf]
+    facts), so that query answering genuinely requires reasoning, as in
+    LUBM∃.
+
+    Generation is fully deterministic for a given [(seed, target)]
+    pair (a SplitMix64 stream; no global randomness). *)
+
+val generate : ?seed:int -> target_facts:int -> unit -> Dllite.Abox.t
+(** Generates at least [target_facts] assertions (stopping at the end
+    of the department that crosses the budget). The result is
+    T-consistent w.r.t. {!Ontology.tbox}; the test-suite checks it. *)
+
+val scale_name : int -> string
+(** Human-readable label, e.g. ["LUBMe-100k"]. *)

@@ -1,0 +1,302 @@
+open Dllite
+
+let a name = Concept.Atomic name
+
+let ex p = Concept.Exists (Role.Named p)
+
+let ex_inv p = Concept.Exists (Role.Inverse p)
+
+let ( <= ) b1 b2 = Axiom.Concept_sub (b1, b2)
+
+let disj b1 b2 = Axiom.Concept_disj (b1, b2)
+
+let rsub p1 p2 = Axiom.Role_sub (Role.Named p1, Role.Named p2)
+
+let rsub_inv p1 p2 = Axiom.Role_sub (Role.Named p1, Role.Inverse p2)
+
+let rdisj p1 p2 = Axiom.Role_disj (Role.Named p1, Role.Named p2)
+
+(* {1 Concept hierarchy (110 axioms)} *)
+
+let organization_axioms =
+  List.map
+    (fun c -> a c <= a "Organization")
+    [
+      "University"; "College"; "Department"; "Institute"; "ResearchGroup";
+      "Laboratory"; "Program"; "Publisher"; "FundingAgency";
+    ]
+
+let person_axioms =
+  [
+    a "Employee" <= a "Person";
+    a "Faculty" <= a "Employee";
+    a "Professor" <= a "Faculty";
+    a "FullProfessor" <= a "Professor";
+    a "AssociateProfessor" <= a "Professor";
+    a "AssistantProfessor" <= a "Professor";
+    a "VisitingProfessor" <= a "Professor";
+    a "EmeritusProfessor" <= a "Professor";
+    a "Lecturer" <= a "Faculty";
+    a "PostDoc" <= a "Faculty";
+    a "ResearchScientist" <= a "Employee";
+    a "Chair" <= a "Professor";
+    a "Dean" <= a "Professor";
+    a "Director" <= a "Employee";
+    a "AdministrativeStaff" <= a "Employee";
+    a "ClericalStaff" <= a "AdministrativeStaff";
+    a "SystemsStaff" <= a "AdministrativeStaff";
+    a "Librarian" <= a "Employee";
+    a "Student" <= a "Person";
+    a "UndergraduateStudent" <= a "Student";
+    a "GraduateStudent" <= a "Student";
+    a "PhDStudent" <= a "GraduateStudent";
+    a "MastersStudent" <= a "GraduateStudent";
+    a "ResearchAssistant" <= a "GraduateStudent";
+    a "TeachingAssistant" <= a "GraduateStudent";
+    a "Alumnus" <= a "Person";
+    a "Advisor" <= a "Faculty";
+    a "Reviewer" <= a "Person";
+    a "Editor" <= a "Person";
+  ]
+
+let teaching_axioms =
+  [
+    a "Course" <= a "Work";
+    a "GraduateCourse" <= a "Course";
+    a "UndergraduateCourse" <= a "Course";
+    a "Seminar" <= a "Course";
+    a "Lecture" <= a "Event";
+    a "Exam" <= a "Event";
+    a "Assignment" <= a "Work";
+    a "Module" <= a "Work";
+    a "Curriculum" <= a "Work";
+  ]
+
+let research_axioms =
+  [
+    a "Research" <= a "Work";
+    a "Project" <= a "Work";
+    a "ResearchProject" <= a "Project";
+    a "IndustryProject" <= a "Project";
+  ]
+
+let publication_axioms =
+  [
+    a "Article" <= a "Publication";
+    a "JournalArticle" <= a "Article";
+    a "ConferencePaper" <= a "Article";
+    a "WorkshopPaper" <= a "Article";
+    a "Survey" <= a "Article";
+    a "DemoPaper" <= a "ConferencePaper";
+    a "PosterPaper" <= a "ConferencePaper";
+    a "TechnicalReport" <= a "Publication";
+    a "Book" <= a "Publication";
+    a "BookChapter" <= a "Publication";
+    a "Manual" <= a "Publication";
+    a "Thesis" <= a "Publication";
+    a "MastersThesis" <= a "Thesis";
+    a "DoctoralThesis" <= a "Thesis";
+    a "Software" <= a "Publication";
+    a "Specification" <= a "Publication";
+    a "UnofficialPublication" <= a "Publication";
+  ]
+
+let venue_axioms =
+  List.map
+    (fun c -> a c <= a "Venue")
+    [ "Journal"; "Conference"; "Workshop"; "Symposium"; "Colloquium" ]
+
+let subject_axioms =
+  List.map
+    (fun c -> a c <= a "Subject")
+    [
+      "ComputerScience"; "Mathematics"; "Physics"; "Chemistry"; "Biology";
+      "Medicine"; "Economics"; "Law"; "History"; "Philosophy"; "Linguistics";
+      "Psychology"; "Sociology"; "Engineering";
+    ]
+  @ List.map
+      (fun c -> a c <= a "ComputerScience")
+      [
+        "ArtificialIntelligence"; "Databases"; "TheoryOfComputation"; "Systems";
+        "Networks"; "Security"; "Graphics"; "HumanComputerInteraction";
+        "SoftwareEngineering"; "Bioinformatics";
+      ]
+  @ List.map (fun c -> a c <= a "Mathematics")
+      [ "Algebra"; "Geometry"; "Analysis"; "Statistics" ]
+  @ [ a "Robotics" <= a "Engineering" ]
+
+let event_axioms =
+  [
+    a "Meeting" <= a "Event";
+    a "DefenseEvent" <= a "Event";
+    a "GraduationCeremony" <= a "Event";
+    a "Semester" <= a "Schedule";
+  ]
+
+let infrastructure_axioms =
+  [
+    a "Library" <= a "Building";
+    a "Building" <= a "Place";
+    ex_inv "takesPlaceIn" <= a "Room";
+    ex "takesPlaceIn" <= a "Event";
+    a "Dataset" <= a "Publication";
+    a "Patent" <= a "Publication";
+    a "Grant" <= a "Work";
+  ]
+
+let degree_axioms =
+  [
+    a "BachelorDegree" <= a "Degree";
+    a "MasterDegree" <= a "Degree";
+    a "DoctoralDegree" <= a "Degree";
+    a "ThesisCommittee" <= a "Committee";
+  ]
+
+(* {1 Domains (30) and ranges (30)} *)
+
+let domain_axioms =
+  [
+    ex "worksFor" <= a "Employee";
+    ex "memberOf" <= a "Person";
+    ex "subOrganizationOf" <= a "Organization";
+    ex "headOf" <= a "Employee";
+    ex "affiliatedWith" <= a "Person";
+    ex "teacherOf" <= a "Faculty";
+    ex "takesCourse" <= a "Student";
+    ex "teachingAssistantOf" <= a "TeachingAssistant";
+    ex "offeredBy" <= a "Course";
+    ex "advisor" <= a "Student";
+    ex "publicationAuthor" <= a "Publication";
+    ex "authorOf" <= a "Person";
+    ex "publishedIn" <= a "Publication";
+    ex "editorOf" <= a "Editor";
+    ex "reviewerOf" <= a "Reviewer";
+    ex "researchInterest" <= a "Faculty";
+    ex "researchProject" <= a "ResearchGroup";
+    ex "worksOn" <= a "Person";
+    ex "fundedBy" <= a "Project";
+    ex "degreeFrom" <= a "Person";
+    ex "hasDegree" <= a "Person";
+    ex "enrolledIn" <= a "Student";
+    ex "scheduledIn" <= a "Course";
+    ex "chairs" <= a "Faculty";
+    ex "memberOfCommittee" <= a "Person";
+  ]
+
+let range_axioms =
+  [
+    ex_inv "worksFor" <= a "Organization";
+    ex_inv "memberOf" <= a "Organization";
+    ex_inv "subOrganizationOf" <= a "Organization";
+    ex_inv "headOf" <= a "Organization";
+    ex_inv "affiliatedWith" <= a "Organization";
+    ex_inv "teacherOf" <= a "Course";
+    ex_inv "takesCourse" <= a "Course";
+    ex_inv "teachingAssistantOf" <= a "Course";
+    ex_inv "offeredBy" <= a "Department";
+    ex_inv "advisor" <= a "Professor";
+    ex_inv "coAuthorWith" <= a "Person";
+    ex_inv "publicationAuthor" <= a "Person";
+    ex_inv "authorOf" <= a "Publication";
+    ex_inv "publishedIn" <= a "Venue";
+    ex_inv "editorOf" <= a "Venue";
+    ex_inv "researchInterest" <= a "Subject";
+    ex_inv "researchProject" <= a "Project";
+    ex_inv "worksOn" <= a "Project";
+    ex_inv "fundedBy" <= a "FundingAgency";
+    ex_inv "hasAward" <= a "Award";
+    ex_inv "degreeFrom" <= a "University";
+    ex_inv "hasDegree" <= a "Degree";
+    ex_inv "enrolledIn" <= a "Program";
+    ex_inv "listedIn" <= a "Program";
+    ex_inv "scheduledIn" <= a "Semester";
+    ex_inv "attends" <= a "Event";
+    ex_inv "memberOfCommittee" <= a "Committee";
+    ex_inv "aboutSubject" <= a "Subject";
+  ]
+
+(* {1 Mandatory participation (22)} *)
+
+let existential_axioms =
+  [
+    a "Professor" <= ex "teacherOf";
+    a "Faculty" <= ex "worksFor";
+    a "Student" <= ex "takesCourse";
+    a "PhDStudent" <= ex "advisor";
+    a "Department" <= ex "subOrganizationOf";
+    a "ResearchGroup" <= ex "researchProject";
+    a "Publication" <= ex "publicationAuthor";
+    a "JournalArticle" <= ex "publishedIn";
+    a "ConferencePaper" <= ex "publishedIn";
+    a "Faculty" <= ex "researchInterest";
+    a "PhDStudent" <= ex "worksOn";
+    a "ResearchProject" <= ex "fundedBy";
+    a "Alumnus" <= ex "degreeFrom";
+    a "GraduateStudent" <= ex "hasDegree";
+    a "Student" <= ex "enrolledIn";
+    a "GraduateCourse" <= ex "scheduledIn";
+    a "TeachingAssistant" <= ex "teachingAssistantOf";
+    a "Course" <= ex "offeredBy";
+    a "Editor" <= ex "editorOf";
+    a "ThesisCommittee" <= ex_inv "memberOfCommittee";
+    a "University" <= ex_inv "memberOf";
+    a "Chair" <= ex "headOf";
+  ]
+
+(* {1 Role hierarchy (11)} *)
+
+let role_axioms =
+  [
+    rsub "undergraduateDegreeFrom" "degreeFrom";
+    rsub "mastersDegreeFrom" "degreeFrom";
+    rsub "doctoralDegreeFrom" "degreeFrom";
+    rsub "headOf" "worksFor";
+    rsub "worksFor" "memberOf";
+    rsub "memberOf" "affiliatedWith";
+    rsub "degreeFrom" "affiliatedWith";
+    rsub_inv "coAuthorWith" "coAuthorWith";
+    rsub_inv "authorOf" "publicationAuthor";
+    rsub_inv "publicationAuthor" "authorOf";
+    rsub "chairs" "memberOfCommittee";
+  ]
+
+(* {1 Disjointness (9)} *)
+
+let disjointness_axioms =
+  [
+    disj (a "UndergraduateStudent") (a "GraduateStudent");
+    disj (a "Faculty") (a "Student");
+    disj (a "Organization") (a "Person");
+    disj (a "Publication") (a "Person");
+    disj (a "Course") (a "Person");
+    disj (a "Venue") (a "Publication");
+    disj (a "JournalArticle") (a "ConferencePaper");
+    disj (a "MastersThesis") (a "DoctoralThesis");
+    rdisj "teacherOf" "takesCourse";
+  ]
+
+let axioms =
+  organization_axioms @ person_axioms @ teaching_axioms @ research_axioms
+  @ publication_axioms @ venue_axioms @ subject_axioms @ event_axioms
+  @ infrastructure_axioms @ degree_axioms @ domain_axioms @ range_axioms @ existential_axioms
+  @ role_axioms @ disjointness_axioms
+
+let tbox = Tbox.of_axioms axioms
+
+let concepts = Tbox.concept_names tbox
+
+let roles = Tbox.role_names tbox
+
+let concept_count = List.length concepts
+
+let role_count = List.length roles
+
+let axiom_count = Tbox.axiom_count tbox
+
+(* The vocabulary budget of the paper's LUBM∃ TBox. *)
+(* The vocabulary budget of the paper's LUBM∃ TBox: 128 concepts, 34
+   roles, 212 constraints. *)
+let () =
+  assert (concept_count = 128);
+  assert (role_count = 34);
+  assert (axiom_count = 212)

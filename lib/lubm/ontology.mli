@@ -1,0 +1,23 @@
+(** The LUBM∃-scale university ontology used by the benchmarks — our
+    stand-in for the LUBM∃ TBox of §6.1, with the same vocabulary
+    budget: {b 128 concepts, 34 roles and 212 DL-LiteR constraints}
+    (class and role hierarchies, domains, ranges, mandatory
+    participations, and disjointness). The counts are enforced by
+    assertions at module initialisation and by the test-suite. *)
+
+val tbox : Dllite.Tbox.t
+
+val concept_count : int
+(** 128 *)
+
+val role_count : int
+(** 34 *)
+
+val axiom_count : int
+(** 212 *)
+
+val concepts : string list
+(** All concept names, sorted. *)
+
+val roles : string list
+(** All role names, sorted. *)

@@ -1,0 +1,230 @@
+open Query
+
+type entry = {
+  name : string;
+  query : Cq.t;
+  description : string;
+}
+
+let v x = Term.Var x
+
+let ca p t = Atom.Ca (p, t)
+
+let ra p t1 t2 = Atom.Ra (p, t1, t2)
+
+let cq name head body = Cq.make ~name ~head ~body ()
+
+(* Q1 is a star-join on a distinguished professor x; its i-atom
+   prefixes are the A_i queries of the search-space study. *)
+let q1_atoms =
+  [
+    ra "teacherOf" (v "x") (v "c");
+    ra "authorOf" (v "x") (v "p");
+    ra "hasAward" (v "x") (v "w");
+    ra "memberOfCommittee" (v "x") (v "m");
+    ra "degreeFrom" (v "x") (v "u");
+    ra "advisor" (v "s") (v "x");
+  ]
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let q1 = cq "Q1" [ v "x" ] q1_atoms
+
+let queries =
+  [
+    {
+      name = "Q1";
+      query = q1;
+      description =
+        "Decorated advisors: teach, publish, hold an award, sit on a \
+         committee, have a degree and advise someone (6-atom star; = A6)";
+    };
+    {
+      name = "Q2";
+      query =
+        cq "Q2" [ v "x"; v "d" ]
+          [
+            ca "PhDStudent" (v "x");
+            ra "takesCourse" (v "x") (v "c");
+            ra "offeredBy" (v "c") (v "d");
+            ra "subOrganizationOf" (v "d") (v "u");
+          ];
+      description = "PhD students and the departments offering their courses";
+    };
+    {
+      name = "Q3";
+      query =
+        cq "Q3" [ v "p"; v "x" ]
+          [
+            ca "JournalArticle" (v "p");
+            ra "publicationAuthor" (v "p") (v "x");
+            ra "worksFor" (v "x") (v "d");
+            ra "researchInterest" (v "x") (v "s");
+            ca "Databases" (v "s");
+          ];
+      description = "Journal articles by database researchers and their employer";
+    };
+    {
+      name = "Q4";
+      query =
+        cq "Q4" [ v "x"; v "y" ]
+          [ ra "advisor" (v "x") (v "y"); ra "teacherOf" (v "y") (v "c") ];
+      description = "Advisees of teaching faculty (2 atoms)";
+    };
+    {
+      name = "Q5";
+      query =
+        cq "Q5" [ v "x"; v "g"; v "pr" ]
+          [
+            ca "ResearchGroup" (v "g");
+            ra "researchProject" (v "g") (v "pr");
+            ra "fundedBy" (v "pr") (v "f");
+            ra "worksOn" (v "x") (v "pr");
+            ca "PhDStudent" (v "x");
+            ra "advisor" (v "x") (v "y");
+            ra "teacherOf" (v "y") (v "c");
+          ];
+      description = "Funded group projects with their PhD students and advisors";
+    };
+    {
+      name = "Q6";
+      query =
+        cq "Q6" [ v "x"; v "y" ]
+          [
+            ra "coAuthorWith" (v "x") (v "y");
+            ca "Faculty" (v "x");
+            ca "Student" (v "y");
+          ];
+      description = "Faculty co-authoring with students";
+    };
+    {
+      name = "Q7";
+      query =
+        cq "Q7" [ v "c"; v "d"; v "p" ]
+          [
+            ca "GraduateCourse" (v "c");
+            ra "offeredBy" (v "c") (v "d");
+            ca "Department" (v "d");
+            ra "subOrganizationOf" (v "d") (v "u");
+            ca "University" (v "u");
+            ra "teacherOf" (v "p") (v "c");
+            ca "FullProfessor" (v "p");
+            ra "scheduledIn" (v "c") (v "sem");
+          ];
+      description = "Graduate courses with department, university and teacher";
+    };
+    {
+      name = "Q8";
+      query =
+        cq "Q8" [ v "s"; v "c" ]
+          [
+            ca "UndergraduateStudent" (v "s");
+            ra "takesCourse" (v "s") (v "c");
+            ra "teacherOf" (v "p") (v "c");
+            ca "Professor" (v "p");
+            ra "worksFor" (v "p") (v "d");
+          ];
+      description = "Undergraduates in courses taught by employed professors";
+    };
+    {
+      name = "Q9";
+      query =
+        cq "Q9" [ v "x"; v "p"; v "c" ]
+          [
+            ca "Professor" (v "x");
+            ra "teacherOf" (v "x") (v "c");
+            ca "GraduateCourse" (v "c");
+            ra "takesCourse" (v "s") (v "c");
+            ca "GraduateStudent" (v "s");
+            ra "authorOf" (v "x") (v "p");
+            ca "JournalArticle" (v "p");
+            ra "publishedIn" (v "p") (v "j");
+            ca "Journal" (v "j");
+            ra "aboutSubject" (v "p") (v "sub");
+          ];
+      description =
+        "Professors teaching graduate courses to graduate students while \
+         publishing journal articles (10 atoms)";
+    };
+    {
+      name = "Q10";
+      query =
+        cq "Q10" [ v "x"; v "d" ]
+          [
+            ca "Professor" (v "x");
+            ra "worksFor" (v "x") (v "d");
+            ca "Department" (v "d");
+            ra "subOrganizationOf" (v "d") (v "u");
+            ca "University" (v "u");
+            ra "authorOf" (v "x") (v "p");
+            ca "JournalArticle" (v "p");
+            ra "aboutSubject" (v "p") (v "s");
+            ca "ArtificialIntelligence" (v "s");
+          ];
+      description = "AI faculty with their department and university (9 atoms)";
+    };
+    {
+      name = "Q11";
+      query =
+        cq "Q11" [ v "x"; v "o" ]
+          [ ra "affiliatedWith" (v "x") (v "o"); ca "Organization" (v "o") ];
+      description =
+        "Everyone affiliated with an organization (2 atoms, the largest \
+         reformulation of the workload)";
+    };
+    {
+      name = "Q12";
+      query =
+        cq "Q12" [ v "p"; v "k" ]
+          [
+            ra "chairs" (v "p") (v "k");
+            ca "ThesisCommittee" (v "k");
+            ra "memberOfCommittee" (v "s") (v "k");
+            ca "PhDStudent" (v "s");
+          ];
+      description = "Thesis committees, their chairs and PhD members";
+    };
+    {
+      name = "Q13";
+      query =
+        cq "Q13" [ v "x"; v "u" ]
+          [
+            ca "Alumnus" (v "x");
+            ra "degreeFrom" (v "x") (v "u");
+            ca "University" (v "u");
+            ra "memberOf" (v "y") (v "u");
+            ca "Faculty" (v "y");
+            ra "authorOf" (v "y") (v "p");
+            ca "Book" (v "p");
+          ];
+      description = "Alumni of universities whose faculty members write books";
+    };
+  ]
+
+let star_queries =
+  List.map
+    (fun i ->
+      {
+        name = Printf.sprintf "A%d" i;
+        query = cq (Printf.sprintf "A%d" i) [ v "x" ] (take i q1_atoms);
+        description = Printf.sprintf "%d-atom star prefix of Q1" i;
+      })
+    [ 3; 4; 5; 6 ]
+
+let find name =
+  match
+    List.find_opt (fun e -> e.name = name) (queries @ star_queries)
+  with
+  | Some e -> e
+  | None -> raise Not_found
+
+let q i = (find (Printf.sprintf "Q%d" i)).query
+
+let atom_stats () =
+  let counts = List.map (fun e -> Cq.atom_count e.query) queries in
+  let mn = List.fold_left min max_int counts in
+  let mx = List.fold_left max 0 counts in
+  let avg =
+    float_of_int (List.fold_left ( + ) 0 counts) /. float_of_int (List.length counts)
+  in
+  mn, mx, avg

@@ -1,0 +1,25 @@
+(** The 13-query workload of §6.1 (2–10 atoms, average ≈ 5.5, UCQ
+    reformulations ranging from a handful to several hundred CQs), and
+    the star queries A3–A6 of §6.2 used for the search-space study
+    (Table 6); A6 coincides with Q1. *)
+
+type entry = {
+  name : string;  (** "Q1" … "Q13", "A3" … "A6" *)
+  query : Query.Cq.t;
+  description : string;
+}
+
+val queries : entry list
+(** Q1–Q13, in order. *)
+
+val star_queries : entry list
+(** A3–A6 (A6 = Q1). *)
+
+val find : string -> entry
+(** Lookup by name; raises [Not_found]. *)
+
+val q : int -> Query.Cq.t
+(** [q 3] is Q3's CQ. *)
+
+val atom_stats : unit -> int * int * float
+(** (min, max, average) atom counts over Q1–Q13. *)

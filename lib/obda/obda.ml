@@ -1,0 +1,147 @@
+type engine_kind =
+  [ `Pglite
+  | `Db2lite ]
+
+type layout_kind =
+  [ `Simple
+  | `Rdf ]
+
+type engine = {
+  profile : Rdbms.Explain.profile;
+  layout : Rdbms.Layout.t;
+  kind : engine_kind;
+  mutable views : Rdbms.Exec.view_store option;
+}
+
+let make_engine kind layout_kind abox =
+  let profile =
+    match kind with
+    | `Pglite -> Rdbms.Explain.pglite
+    | `Db2lite -> Rdbms.Explain.db2lite
+  in
+  let layout =
+    match layout_kind with
+    | `Simple -> Rdbms.Layout.simple_of_abox abox
+    | `Rdf -> Rdbms.Layout.rdf_of_abox abox
+  in
+  { profile; layout; kind; views = None }
+
+let insert_concept e ~concept ~ind =
+  let inserted = Rdbms.Layout.insert_concept e.layout ~concept ~ind in
+  if inserted then
+    (* stored fragments may no longer reflect the data *)
+    Option.iter Hashtbl.clear e.views;
+  inserted
+
+let insert_role e ~role ~subj ~obj =
+  let inserted = Rdbms.Layout.insert_role e.layout ~role ~subj ~obj in
+  if inserted then Option.iter Hashtbl.clear e.views;
+  inserted
+
+let enable_fragment_views e =
+  if e.views = None then e.views <- Some (Rdbms.Exec.fresh_view_store ())
+
+let disable_fragment_views e = e.views <- None
+
+let fragment_view_count e =
+  match e.views with None -> 0 | Some store -> Hashtbl.length store
+
+let engine_name e =
+  Printf.sprintf "%s/%s" e.profile.Rdbms.Explain.name (Rdbms.Layout.name e.layout)
+
+let layout e = e.layout
+
+let profile e = e.profile
+
+type cost_source =
+  | Rdbms_cost
+  | Ext_cost
+
+type strategy =
+  | Ucq
+  | Uscq
+  | Croot
+  | Gdl of cost_source
+  | Gdl_limited of cost_source * float
+  | Edl of cost_source
+
+let cost_source_name = function Rdbms_cost -> "rdbms" | Ext_cost -> "ext"
+
+let strategy_name = function
+  | Ucq -> "ucq"
+  | Uscq -> "uscq"
+  | Croot -> "croot"
+  | Gdl src -> "gdl/" ^ cost_source_name src
+  | Gdl_limited (src, budget) ->
+    Printf.sprintf "gdl%.0fms/%s" (budget *. 1000.) (cost_source_name src)
+  | Edl src -> "edl/" ^ cost_source_name src
+
+type outcome = {
+  strategy : strategy;
+  reformulation : Query.Fol.t;
+  cq_count : int;
+  sql : string lazy_t;
+  sql_bytes : int;
+  search_time : float;
+  eval_time : float;
+  answers : (string list list, string) Stdlib.result;
+}
+
+let estimator e = function
+  | Rdbms_cost -> Optimizer.Estimator.rdbms e.profile e.layout
+  | Ext_cost ->
+    let model =
+      Cost.Cost_model.calibrated
+        (match e.kind with `Pglite -> `Pglite | `Db2lite -> `Db2lite)
+    in
+    Optimizer.Estimator.ext model e.layout
+
+let reformulate e tbox strategy q =
+  match strategy with
+  | Ucq -> Covers.Reformulate.ucq tbox q
+  | Uscq -> Reform.Uscq_reform.reformulate tbox q
+  | Croot ->
+    Covers.Reformulate.of_cover tbox (Covers.Safety.root_cover tbox q)
+  | Gdl src -> (Optimizer.Gdl.search tbox (estimator e src) q).Optimizer.Gdl.reformulation
+  | Gdl_limited (src, budget) ->
+    (Optimizer.Gdl.search ~time_budget:budget tbox (estimator e src) q)
+      .Optimizer.Gdl.reformulation
+  | Edl src -> (Optimizer.Edl.search tbox (estimator e src) q).Optimizer.Edl.reformulation
+
+let answer e tbox strategy q =
+  let t0 = Unix.gettimeofday () in
+  let reformulation = reformulate e tbox strategy q in
+  let search_time = Unix.gettimeofday () -. t0 in
+  let sql = lazy (Sql.Sql_ast.to_string (Sql.Sql_gen.of_fol e.layout reformulation)) in
+  let sql_bytes = String.length (Lazy.force sql) in
+  let t1 = Unix.gettimeofday () in
+  let answers =
+    match e.profile.Rdbms.Explain.max_sql_bytes with
+    | Some limit when sql_bytes > limit ->
+      Error
+        (Printf.sprintf
+           "The statement is too long or too complex. Current SQL statement size is \
+            %d"
+           sql_bytes)
+    | _ ->
+      let plan = Rdbms.Planner.of_fol e.layout reformulation in
+      Ok
+        (Rdbms.Exec.answers ~config:e.profile.Rdbms.Explain.exec_config
+           ?views:e.views e.layout plan)
+  in
+  let eval_time = Unix.gettimeofday () -. t1 in
+  {
+    strategy;
+    reformulation;
+    cq_count = Query.Fol.cq_count reformulation;
+    sql;
+    sql_bytes;
+    search_time;
+    eval_time;
+    answers;
+  }
+
+let answers_exn e tbox strategy q =
+  match (answer e tbox strategy q).answers with
+  | Ok a -> a
+  | Error msg -> failwith msg

@@ -1,0 +1,102 @@
+(** The public façade: end-to-end ontology-based data access.
+
+    Build an {!engine} over an ABox (choosing an engine profile and a
+    storage layout), then {!answer} conjunctive queries under a TBox
+    with any of the reformulation strategies the paper evaluates —
+    plain UCQ, the fixed root-cover JUCQ, or the cost-driven GDL / EDL
+    covers with either cost source. The answer always reflects both the
+    data and the constraints (FOL reducibility of DL-LiteR). *)
+
+type engine_kind =
+  [ `Pglite  (** Postgres-like: no scan sharing, sampling estimator *)
+  | `Db2lite  (** DB2-like: scan sharing, 2M-char statement limit *) ]
+
+type layout_kind =
+  [ `Simple  (** a table per concept and role *)
+  | `Rdf  (** DB2RDF-style wide tables *) ]
+
+type engine
+
+val make_engine : engine_kind -> layout_kind -> Dllite.Abox.t -> engine
+(** Loads the ABox into the chosen layout. *)
+
+val engine_name : engine -> string
+(** e.g. ["db2lite/rdf"]. *)
+
+val layout : engine -> Rdbms.Layout.t
+
+val profile : engine -> Rdbms.Explain.profile
+
+type cost_source =
+  | Rdbms_cost  (** the engine's own estimation ([explain]) *)
+  | Ext_cost  (** the external textbook cost model *)
+
+type strategy =
+  | Ucq  (** plain (minimal) CQ-to-UCQ reformulation *)
+  | Uscq  (** factorised CQ-to-USCQ reformulation ({e [33]}-style) *)
+  | Croot  (** fixed JUCQ over the root cover *)
+  | Gdl of cost_source  (** greedy cover search *)
+  | Gdl_limited of cost_source * float  (** time-limited GDL (seconds) *)
+  | Edl of cost_source  (** exhaustive cover search (small queries!) *)
+
+val strategy_name : strategy -> string
+
+type outcome = {
+  strategy : strategy;
+  reformulation : Query.Fol.t;
+  cq_count : int;  (** CQ disjuncts in the reformulation *)
+  sql : string lazy_t;  (** the SQL translation *)
+  sql_bytes : int;
+  search_time : float;  (** seconds spent choosing the reformulation *)
+  eval_time : float;  (** seconds spent evaluating it *)
+  answers : (string list list, string) Stdlib.result;
+      (** sorted certain answers, or the engine error (e.g. the
+          statement-size rejection DB2 raises on the RDF layout) *)
+}
+
+val reformulate : engine -> Dllite.Tbox.t -> strategy -> Query.Cq.t -> Query.Fol.t
+(** Only the reformulation step (no evaluation). *)
+
+val answer : engine -> Dllite.Tbox.t -> strategy -> Query.Cq.t -> outcome
+(** The full pipeline: reformulate, translate to SQL, check engine
+    limits, evaluate, decode. *)
+
+val answers_exn : engine -> Dllite.Tbox.t -> strategy -> Query.Cq.t -> string list list
+(** Convenience: the answers of {!answer}, raising [Failure] on engine
+    errors. *)
+
+val estimator : engine -> cost_source -> Optimizer.Estimator.t
+
+(** {2 Incremental updates}
+
+    New facts can be inserted into a loaded engine (after the
+    dynamic-databases concern of {e [17]}): tables, indexes and
+    statistics are maintained in place, and any materialised fragment
+    views are invalidated. Reformulations are data-independent, so the
+    reformulation caches stay valid. Consistency of the update is the
+    caller's concern ({!Dllite.Kb.check_consistency} /
+    {!Reform.Consistency}). *)
+
+val insert_concept : engine -> concept:string -> ind:string -> bool
+(** [false] when the fact was already stored. *)
+
+val insert_role : engine -> role:string -> subj:string -> obj:string -> bool
+
+(** {2 Materialised fragment views}
+
+    The paper's §7 future-work extension: reformulated fragment queries
+    ([WITH] subqueries) are materialised anyway — keeping them in a
+    view store shared across queries lets later queries that
+    materialise the same fragment against the same data reuse the
+    stored result. Only sound while the underlying ABox is unchanged
+    (engines are loaded once and immutable here). *)
+
+val enable_fragment_views : engine -> unit
+(** Start sharing materialised fragments across subsequent
+    {!answer} calls on this engine. Idempotent. *)
+
+val disable_fragment_views : engine -> unit
+(** Drop the store and stop sharing. *)
+
+val fragment_view_count : engine -> int
+(** Number of distinct fragments currently materialised. *)

@@ -1,0 +1,37 @@
+open Covers
+
+type result = {
+  cover : Generalized.t;
+  reformulation : Query.Fol.t;
+  est_cost : float;
+  covers_examined : int;
+  capped : bool;
+  search_time : float;
+}
+
+let search ?(max_covers = 20_000) ?(language = Reformulate.Ucq_fragments) tbox
+    estimator q =
+  let t0 = Unix.gettimeofday () in
+  let covers = Generalized.enumerate ~max_count:max_covers tbox q in
+  let examined = List.length covers in
+  let best =
+    List.fold_left
+      (fun best cover ->
+        let fol = Reformulate.of_generalized ~language tbox cover in
+        let cost = estimator.Estimator.estimate fol in
+        match best with
+        | Some (_, _, c) when c <= cost -> best
+        | _ -> Some (cover, fol, cost))
+      None covers
+  in
+  match best with
+  | None -> invalid_arg "Edl.search: no cover (empty query?)"
+  | Some (cover, reformulation, est_cost) ->
+    {
+      cover;
+      reformulation;
+      est_cost;
+      covers_examined = examined;
+      capped = examined >= max_covers;
+      search_time = Unix.gettimeofday () -. t0;
+    }

@@ -1,0 +1,16 @@
+type t = {
+  name : string;
+  estimate : Query.Fol.t -> float;
+}
+
+let rdbms profile layout =
+  {
+    name = "rdbms";
+    estimate =
+      (fun fol ->
+        let plan = Rdbms.Planner.of_fol layout fol in
+        (Rdbms.Explain.cost profile layout plan).Rdbms.Explain.total_cost);
+  }
+
+let ext model layout =
+  { name = "ext"; estimate = (fun fol -> Cost.Cost_model.fol_cost model layout fol) }

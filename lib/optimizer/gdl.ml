@@ -1,0 +1,134 @@
+open Covers
+
+type result = {
+  cover : Generalized.t;
+  reformulation : Query.Fol.t;
+  est_cost : float;
+  explored_simple : int;
+  explored_total : int;
+  moves : int;
+  search_time : float;
+  cost_time : float;
+  timed_out : bool;
+}
+
+type search_state = {
+  estimator : Estimator.t;
+  language : Reformulate.fragment_language;
+  tbox : Dllite.Tbox.t;
+  cost_cache : (string, float * Query.Fol.t) Hashtbl.t;
+  mutable simple_seen : int;
+  mutable total_seen : int;
+  mutable cost_seconds : float;
+  deadline : float option;
+}
+
+let cover_key cover = Fmt.str "%a" Generalized.pp cover
+
+let out_of_time st =
+  match st.deadline with
+  | None -> false
+  | Some d -> Unix.gettimeofday () > d
+
+(* Estimated cost of a cover's reformulation, memoised per cover. *)
+let cover_cost st cover =
+  let key = cover_key cover in
+  match Hashtbl.find_opt st.cost_cache key with
+  | Some (c, fol) -> c, fol
+  | None ->
+    let t0 = Unix.gettimeofday () in
+    let fol = Reformulate.of_generalized ~language:st.language st.tbox cover in
+    let c = st.estimator.Estimator.estimate fol in
+    st.cost_seconds <- st.cost_seconds +. (Unix.gettimeofday () -. t0);
+    st.total_seen <- st.total_seen + 1;
+    if Generalized.is_simple cover then st.simple_seen <- st.simple_seen + 1;
+    Hashtbl.add st.cost_cache key (c, fol);
+    c, fol
+
+(* All covers reachable from [cover] in one move. With [space = `Lq]
+   the enlarge move is disabled and the search stays within the simple
+   safe-cover lattice (used by the ablation benchmark). *)
+let candidate_moves ?(space = `Gq) cover =
+  let frags = Generalized.fragments cover in
+  let unions =
+    let rec pairs = function
+      | [] -> []
+      | f :: rest ->
+        List.filter_map
+          (fun f' ->
+            if Generalized.mergeable cover f f' then
+              Some (Generalized.merge cover f f')
+            else None)
+          rest
+        @ pairs rest
+    in
+    pairs frags
+  in
+  let enlargements =
+    match space with
+    | `Lq -> []
+    | `Gq ->
+      List.concat_map
+        (fun f ->
+          List.filter_map
+            (fun a ->
+              match Generalized.enlarge cover f a with
+              | c -> Some c
+              | exception Invalid_argument _ -> None)
+            (Generalized.enlargeable_atoms cover f))
+        frags
+  in
+  unions @ enlargements
+
+let search ?time_budget ?(space = `Gq) ?(language = Reformulate.Ucq_fragments) tbox
+    estimator q =
+  let t0 = Unix.gettimeofday () in
+  let st =
+    {
+      estimator;
+      language;
+      tbox;
+      cost_cache = Hashtbl.create 64;
+      simple_seen = 0;
+      total_seen = 0;
+      cost_seconds = 0.;
+      deadline = Option.map (fun b -> t0 +. b) time_budget;
+    }
+  in
+  let start = Generalized.of_cover (Safety.root_cover tbox q) in
+  let rec loop cover cost moves =
+    if out_of_time st then cover, cost, moves, true
+    else begin
+      let best =
+        List.fold_left
+          (fun best candidate ->
+            if out_of_time st then best
+            else
+              let c, _ = cover_cost st candidate in
+              match best with
+              | Some (_, bc) when bc <= c -> best
+              | _ -> Some (candidate, c))
+          None (candidate_moves ~space cover)
+      in
+      (* Accept the best move when it does not degrade the estimated
+         cost; both move kinds strictly shrink the fragment count or
+         grow a fragment, so the walk always terminates. *)
+      match best with
+      | Some (next, c) when c <= cost -> loop next c (moves + 1)
+      | _ -> cover, cost, moves, out_of_time st
+    end
+  in
+  let cost0, _ = cover_cost st start in
+  let cover, est_cost, moves, timed_out = loop start cost0 0 in
+  let _, reformulation = cover_cost st cover in
+  {
+    cover;
+    reformulation;
+    est_cost;
+    explored_simple = st.simple_seen;
+    explored_total = st.total_seen;
+    moves;
+    search_time = Unix.gettimeofday () -. t0;
+    cost_time = st.cost_seconds;
+    timed_out;
+  }

@@ -1,0 +1,43 @@
+module SMap = Map.Make (String)
+
+type t = Term.t SMap.t
+
+let empty = SMap.empty
+
+let is_empty = SMap.is_empty
+
+let singleton v t = SMap.singleton v t
+
+let find v s = SMap.find_opt v s
+
+let bindings s = SMap.bindings s
+
+(* Walk a term to its representative: substitutions built by unification
+   are triangular (a bound variable may map to another bound variable). *)
+let rec apply s t =
+  match t with
+  | Term.Cst _ -> t
+  | Term.Var v -> (
+    match SMap.find_opt v s with
+    | None -> t
+    | Some t' -> if Term.equal t t' then t else apply s t')
+
+let bind v t s =
+  match SMap.find_opt v s with
+  | None -> SMap.add v t s
+  | Some t' ->
+    if Term.equal t t' then s
+    else Fmt.invalid_arg "Subst.bind: %s already bound" v
+
+let of_list l = List.fold_left (fun s (v, t) -> bind v t s) empty l
+
+let pp ppf s =
+  let pp_binding ppf (v, t) = Fmt.pf ppf "%s->%a" v Term.pp t in
+  Fmt.pf ppf "{%a}" (Fmt.list ~sep:Fmt.comma pp_binding) (bindings s)
+
+let unify_terms t1 t2 s =
+  let t1 = apply s t1 and t2 = apply s t2 in
+  match t1, t2 with
+  | Term.Cst c1, Term.Cst c2 -> if String.equal c1 c2 then Some s else None
+  | Term.Var v, t | t, Term.Var v ->
+    if Term.equal (Term.Var v) t then Some s else Some (SMap.add v t s)

@@ -1,0 +1,31 @@
+(** Substitutions mapping variable names to terms, used by unification
+    and by the reformulation engines. *)
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val singleton : string -> Term.t -> t
+
+val find : string -> t -> Term.t option
+
+val bindings : t -> (string * Term.t) list
+
+val apply : t -> Term.t -> Term.t
+(** [apply s t] replaces [t] by its image under [s]; the image is looked
+    up repeatedly until a fixpoint, so [s] may be a triangular
+    substitution produced by unification. Constants are unchanged. *)
+
+val bind : string -> Term.t -> t -> t
+(** [bind v t s] adds the binding [v -> t]. Raises [Invalid_argument] if
+    [v] is already bound to a different term. *)
+
+val of_list : (string * Term.t) list -> t
+
+val pp : Format.formatter -> t -> unit
+
+val unify_terms : Term.t -> Term.t -> t -> t option
+(** [unify_terms t1 t2 s] extends [s] into a unifier of [t1] and [t2],
+    or returns [None] when the two terms are not unifiable under [s]. *)

@@ -1,0 +1,31 @@
+type t =
+  | Var of string
+  | Cst of string
+
+let compare t1 t2 =
+  match t1, t2 with
+  | Var v1, Var v2 -> String.compare v1 v2
+  | Cst c1, Cst c2 -> String.compare c1 c2
+  | Var _, Cst _ -> -1
+  | Cst _, Var _ -> 1
+
+let equal t1 t2 = compare t1 t2 = 0
+
+let is_var = function Var _ -> true | Cst _ -> false
+
+let is_cst = function Cst _ -> true | Var _ -> false
+
+let var_name = function Var v -> Some v | Cst _ -> None
+
+let to_string = function Var v -> v | Cst c -> c
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

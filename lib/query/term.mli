@@ -1,0 +1,27 @@
+(** Terms of first-order queries: variables and constants. *)
+
+type t =
+  | Var of string  (** a query variable, e.g. [x] *)
+  | Cst of string  (** an individual constant, e.g. [Damian] *)
+
+val compare : t -> t -> int
+(** Total order on terms (variables before constants, then by name). *)
+
+val equal : t -> t -> bool
+
+val is_var : t -> bool
+
+val is_cst : t -> bool
+
+val var_name : t -> string option
+(** [var_name t] is [Some v] when [t] is the variable [v]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Variables print as their name, constants as their name too; use
+    {!to_string} when an unambiguous rendering is needed. *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t

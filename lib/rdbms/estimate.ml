@@ -1,0 +1,119 @@
+open Query
+
+type est = {
+  rows : float;
+  ndv : (string * float) list;
+}
+
+let ndv_of e c = Option.value ~default:e.rows (List.assoc_opt c e.ndv)
+
+(* equality selectivity from the column histogram, when the constant
+   is a known individual *)
+let hist_rows layout p side k =
+  match Dllite.Dict.find (Layout.dict layout) k with
+  | None -> Some 0.
+  | Some code -> Layout.role_eq_rows layout p side code
+
+let clamp_ndv e =
+  { e with ndv = List.map (fun (c, n) -> c, Float.min n (Float.max e.rows 1.)) e.ndv }
+
+let atom layout a =
+  match a with
+  | Atom.Ca (p, Term.Var v) ->
+    let card = float_of_int (Layout.concept_card layout p) in
+    { rows = card; ndv = [ v, card ] }
+  | Atom.Ca (p, Term.Cst _) ->
+    let card = float_of_int (Layout.concept_card layout p) in
+    { rows = Float.min 1. card; ndv = [] }
+  | Atom.Ra (p, t1, t2) -> (
+    let card = float_of_int (Layout.role_card layout p) in
+    let s, o = Layout.role_ndv layout p in
+    let nds = Float.max 1. (float_of_int s) and ndo = Float.max 1. (float_of_int o) in
+    match t1, t2 with
+    | Term.Var v1, Term.Var v2 when v1 <> v2 ->
+      { rows = card; ndv = [ v1, float_of_int s; v2, float_of_int o ] }
+    | Term.Var v, Term.Var _ ->
+      (* self loop R(x,x): one match per subject at most, scaled *)
+      let rows = card /. Float.max nds ndo in
+      clamp_ndv { rows; ndv = [ v, rows ] }
+    | Term.Var v, Term.Cst k ->
+      let rows =
+        match hist_rows layout p `Object k with
+        | Some r -> r
+        | None -> card /. ndo
+      in
+      clamp_ndv { rows; ndv = [ v, rows ] }
+    | Term.Cst k, Term.Var v ->
+      let rows =
+        match hist_rows layout p `Subject k with
+        | Some r -> r
+        | None -> card /. nds
+      in
+      clamp_ndv { rows; ndv = [ v, rows ] }
+    | Term.Cst _, Term.Cst _ -> { rows = Float.min 1. card; ndv = [] })
+
+let join l r =
+  let shared = List.filter (fun (c, _) -> List.mem_assoc c r.ndv) l.ndv in
+  let sel =
+    List.fold_left
+      (fun acc (c, nl) -> acc /. Float.max 1. (Float.max nl (ndv_of r c)))
+      1. shared
+  in
+  let rows = l.rows *. r.rows *. sel in
+  let merged =
+    List.map
+      (fun (c, nl) ->
+        if List.mem_assoc c r.ndv then c, Float.min nl (ndv_of r c) else c, nl)
+      l.ndv
+    @ List.filter (fun (c, _) -> not (List.mem_assoc c l.ndv)) r.ndv
+  in
+  clamp_ndv { rows; ndv = merged }
+
+let shares_col e a =
+  List.exists (fun v -> List.mem_assoc (Term.to_string v) e.ndv)
+    (Term.Set.elements (Atom.vars a))
+
+let order_atoms layout atoms =
+  match atoms with
+  | [] | [ _ ] -> atoms
+  | _ ->
+    let with_est = List.map (fun a -> a, atom layout a) atoms in
+    let smallest =
+      List.fold_left
+        (fun best (a, e) ->
+          match best with
+          | None -> Some (a, e)
+          | Some (_, e') -> if e.rows < e'.rows then Some (a, e) else best)
+        None with_est
+    in
+    let first, e0 = Option.get smallest in
+    let rec go acc cur remaining =
+      match remaining with
+      | [] -> List.rev acc
+      | _ ->
+        (* prefer connected atoms; among them the one minimising the
+           estimated intermediate result *)
+        let candidates =
+          let conn = List.filter (fun (a, _) -> shares_col cur a) remaining in
+          if conn = [] then remaining else conn
+        in
+        let best =
+          List.fold_left
+            (fun best (a, e) ->
+              let j = join cur e in
+              match best with
+              | None -> Some (a, e, j)
+              | Some (_, _, j') -> if j.rows < j'.rows then Some (a, e, j) else best)
+            None candidates
+        in
+        let a, _, j = Option.get best in
+        let remaining = List.filter (fun (a', _) -> a' != a) remaining in
+        go (a :: acc) j remaining
+    in
+    let remaining = List.filter (fun (a, _) -> a != first) with_est in
+    go [ first ] e0 remaining
+
+let cq_rows layout atoms =
+  match List.map (atom layout) atoms with
+  | [] -> 0.
+  | first :: rest -> (List.fold_left join first rest).rows

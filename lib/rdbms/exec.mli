@@ -1,0 +1,54 @@
+(** Plan execution. The configuration models the engine-level runtime
+    differences §6 of the paper observes between Postgres and DB2:
+    DB2's buffer-locality optimisations for repeated scans ([21]) are
+    modelled by caching scan results and join build tables across the
+    arms of one query, which benefits exactly the large reformulated
+    unions that re-read the same tables hundreds of times. *)
+
+type config = {
+  scan_cache : bool;  (** share identical atom scans within one query *)
+  build_cache : bool;
+      (** share hash-join build tables over identical base scans *)
+}
+
+val postgres_like : config
+(** No sharing: every arm rescans and rebuilds. *)
+
+val db2_like : config
+(** Scan and build sharing. *)
+
+type counters = {
+  mutable scans : int;  (** scans actually performed *)
+  mutable scan_hits : int;  (** scans served from cache *)
+  mutable builds : int;
+  mutable build_hits : int;
+}
+
+type view_store = (string, Relation.t) Hashtbl.t
+(** Materialised fragment views (the paper's §7 future-work extension):
+    a store shared {e across} query executions. Every [Materialize]
+    node's result is keyed by its plan text and reused verbatim on the
+    next query that materialises the same fragment against the same
+    data. The store must be discarded if the underlying data changes. *)
+
+val fresh_view_store : unit -> view_store
+
+val run :
+  ?config:config ->
+  ?counters:counters ->
+  ?views:view_store ->
+  Layout.t ->
+  Plan.t ->
+  Relation.t
+
+val answers :
+  ?config:config -> ?views:view_store -> Layout.t -> Plan.t -> string list list
+(** Runs the plan and decodes the rows through the dictionary; sorted,
+    duplicate-free. *)
+
+val fresh_counters : unit -> counters
+
+val scan_signature : Query.Atom.t -> string
+(** Variable-name-independent signature of an atom access — the key of
+    the scan and build caches, also used by the cost estimators to
+    recognise repeated scans. *)

@@ -1,0 +1,84 @@
+type bucket = {
+  lo : int;  (* inclusive *)
+  hi : int;  (* inclusive *)
+  rows : int;
+  distinct : int;
+}
+
+type t = {
+  buckets : bucket list;
+  heavy : (int * int) list;  (* value, exact frequency — sorted by value *)
+  total : int;
+  distinct : int;
+}
+
+let build ?(buckets = 32) ?(heavy_hitters = 16) values =
+  let sorted = Array.copy values in
+  Array.sort Int.compare sorted;
+  let n = Array.length sorted in
+  if n = 0 then { buckets = []; heavy = []; total = 0; distinct = 0 }
+  else begin
+    (* frequency of each distinct value, in value order *)
+    let freqs = ref [] in
+    let cur = ref sorted.(0) and count = ref 0 in
+    Array.iter
+      (fun v ->
+        if v = !cur then incr count
+        else begin
+          freqs := (!cur, !count) :: !freqs;
+          cur := v;
+          count := 1
+        end)
+      sorted;
+    freqs := (!cur, !count) :: !freqs;
+    let freqs = List.rev !freqs in
+    let distinct = List.length freqs in
+    let heavy =
+      List.sort (fun (_, f1) (_, f2) -> Int.compare f2 f1) freqs
+      |> List.filteri (fun i _ -> i < heavy_hitters)
+      |> List.sort (fun (v1, _) (v2, _) -> Int.compare v1 v2)
+    in
+    let is_heavy v = List.mem_assoc v heavy in
+    let light = List.filter (fun (v, _) -> not (is_heavy v)) freqs in
+    let light_rows = List.fold_left (fun acc (_, f) -> acc + f) 0 light in
+    let depth = max 1 (light_rows / max 1 buckets) in
+    (* pack light values into buckets of roughly [depth] rows *)
+    let bs = ref [] and cur_rows = ref 0 and cur_distinct = ref 0 and cur_lo = ref None in
+    let flush hi =
+      match !cur_lo with
+      | Some lo when !cur_rows > 0 ->
+        bs := { lo; hi; rows = !cur_rows; distinct = !cur_distinct } :: !bs;
+        cur_rows := 0;
+        cur_distinct := 0;
+        cur_lo := None
+      | _ -> ()
+    in
+    List.iter
+      (fun (v, f) ->
+        if !cur_lo = None then cur_lo := Some v;
+        cur_rows := !cur_rows + f;
+        incr cur_distinct;
+        if !cur_rows >= depth then flush v)
+      light;
+    (match List.rev light with (v, _) :: _ -> flush v | [] -> ());
+    { buckets = List.rev !bs; heavy; total = n; distinct }
+  end
+
+let total_rows t = t.total
+
+let distinct_values t = t.distinct
+
+let est_eq t v =
+  match List.assoc_opt v t.heavy with
+  | Some f -> float_of_int f
+  | None -> (
+    match List.find_opt (fun b -> v >= b.lo && v <= b.hi) t.buckets with
+    | Some b -> float_of_int b.rows /. float_of_int (max 1 b.distinct)
+    | None -> 0.)
+
+let max_frequency t =
+  List.fold_left (fun acc (_, f) -> max acc f) 0 t.heavy
+
+let pp ppf t =
+  Fmt.pf ppf "hist(total=%d distinct=%d buckets=%d heavy=%d)" t.total t.distinct
+    (List.length t.buckets) (List.length t.heavy)

@@ -1,0 +1,28 @@
+(** Equi-depth histograms over dictionary-encoded columns.
+
+    The uniform-distribution assumption of the textbook estimators
+    misprices skewed columns (a handful of very popular objects is the
+    norm in graph-shaped data). An equi-depth histogram stores bucket
+    boundaries holding equal row counts plus the exact frequencies of
+    the heaviest values, giving much better selectivity estimates for
+    equality predicates. *)
+
+type t
+
+val build : ?buckets:int -> ?heavy_hitters:int -> int array -> t
+(** [build values] summarises a column. [buckets] defaults to 32,
+    [heavy_hitters] (values tracked exactly) to 16. *)
+
+val total_rows : t -> int
+
+val distinct_values : t -> int
+
+val est_eq : t -> int -> float
+(** Estimated number of rows whose value equals the argument: exact for
+    tracked heavy hitters, bucket-uniform otherwise, [0.] outside the
+    value range. *)
+
+val max_frequency : t -> int
+(** Frequency of the most common value. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+type t =
+  | Simple of Storage.t
+  | Rdf of Rdf_layout.t
+
+let simple_of_abox abox = Simple (Storage.of_abox abox)
+
+let rdf_of_abox ?width abox = Rdf (Rdf_layout.of_abox ?width abox)
+
+let name = function Simple _ -> "simple" | Rdf _ -> "rdf"
+
+let dict = function Simple s -> Storage.dict s | Rdf r -> Rdf_layout.dict r
+
+let concept_rows t n =
+  match t with
+  | Simple s -> Storage.concept_rows s n
+  | Rdf r -> Rdf_layout.concept_rows r n
+
+let role_rows t n =
+  match t with Simple s -> Storage.role_rows s n | Rdf r -> Rdf_layout.role_rows r n
+
+let role_lookup_subject t n v =
+  match t with
+  | Simple s -> Storage.role_lookup_subject s n v
+  | Rdf r -> Rdf_layout.role_lookup_subject r n v
+
+let role_lookup_object t n v =
+  match t with
+  | Simple s -> Storage.role_lookup_object s n v
+  | Rdf r -> Rdf_layout.role_lookup_object r n v
+
+let concept_mem t n v =
+  match t with
+  | Simple s -> Storage.concept_mem s n v
+  | Rdf r -> Array.exists (fun m -> m = v) (Rdf_layout.concept_rows r n)
+
+let concept_card t n =
+  match t with
+  | Simple s -> (Storage.concept_stats s n).Storage.card
+  | Rdf r -> Rdf_layout.concept_card r n
+
+let role_card t n =
+  match t with
+  | Simple s -> (Storage.role_stats s n).Storage.card
+  | Rdf r -> Rdf_layout.role_card r n
+
+let role_ndv t n =
+  match t with
+  | Simple s ->
+    let st = Storage.role_stats s n in
+    st.Storage.ndv.(0), st.Storage.ndv.(1)
+  | Rdf r -> Rdf_layout.role_ndv r n
+
+let scan_work t pred =
+  match t, pred with
+  | Simple s, `Concept n -> (Storage.concept_stats s n).Storage.card
+  | Simple s, `Role n -> (Storage.role_stats s n).Storage.card
+  | Rdf r, `Concept _ -> Rdf_layout.type_row_count r
+  | Rdf r, `Role _ -> Rdf_layout.dph_row_count r * Rdf_layout.width r
+
+let total_facts = function
+  | Simple s -> Storage.total_facts s
+  | Rdf r -> Rdf_layout.total_facts r
+
+let individual_count = function
+  | Simple s -> Storage.individual_count s
+  | Rdf r -> Rdf_layout.individual_count r
+
+(* Histogram-backed selectivity for an equality on a role column; the
+   RDF layout keeps only coarse statistics, like the store it models. *)
+let role_eq_rows t role side code =
+  match t with
+  | Simple s ->
+    Option.map (fun h -> Histogram.est_eq h code) (Storage.role_histogram s role side)
+  | Rdf _ -> None
+
+let insert_concept t ~concept ~ind =
+  match t with
+  | Simple s -> Storage.insert_concept s ~concept ~ind
+  | Rdf r -> Rdf_layout.insert_concept r ~concept ~ind
+
+let insert_role t ~role ~subj ~obj =
+  match t with
+  | Simple s -> Storage.insert_role s ~role ~subj ~obj
+  | Rdf r -> Rdf_layout.insert_role r ~role ~subj ~obj

@@ -1,0 +1,53 @@
+(** Storage layouts the engines evaluate against: the {e simple layout}
+    (one table per concept/role) or the DB2RDF-style {e RDF layout}.
+    Both expose the same access paths; their costs differ. *)
+
+type t =
+  | Simple of Storage.t
+  | Rdf of Rdf_layout.t
+
+val simple_of_abox : Dllite.Abox.t -> t
+
+val rdf_of_abox : ?width:int -> Dllite.Abox.t -> t
+
+val name : t -> string
+(** ["simple"] or ["rdf"]. *)
+
+val dict : t -> Dllite.Dict.t
+
+val concept_rows : t -> string -> int array
+
+val role_rows : t -> string -> (int * int) array
+
+val role_lookup_subject : t -> string -> int -> (int * int) list
+
+val role_lookup_object : t -> string -> int -> (int * int) list
+
+val concept_mem : t -> string -> int -> bool
+
+val concept_card : t -> string -> int
+
+val role_card : t -> string -> int
+
+val role_ndv : t -> string -> int * int
+(** Distinct subjects and objects of a role. *)
+
+val scan_work : t -> [ `Concept of string | `Role of string ] -> int
+(** Number of cell probes one full scan of the predicate performs —
+    the quantity native cost estimators charge for. On the simple
+    layout this is the table cardinality; on the RDF layout a role scan
+    probes every predicate column of every DPH row. *)
+
+val total_facts : t -> int
+
+val individual_count : t -> int
+
+val role_eq_rows : t -> string -> [ `Subject | `Object ] -> int -> float option
+(** Histogram-based estimate of the rows of a role whose subject or
+    object equals the given code ([None] when no histogram exists —
+    notably on the RDF layout). *)
+
+val insert_concept : t -> concept:string -> ind:string -> bool
+(** Incrementally asserts a concept fact; [false] if already stored. *)
+
+val insert_role : t -> role:string -> subj:string -> obj:string -> bool

@@ -1,0 +1,95 @@
+type out_col =
+  [ `Col of string
+  | `Const of string ]
+
+let scan_cols atom =
+  let open Query in
+  match atom with
+  | Atom.Ca (_, Term.Var v) -> [ v ]
+  | Atom.Ca (_, Term.Cst _) -> []
+  | Atom.Ra (_, Term.Var v1, Term.Var v2) -> if v1 = v2 then [ v1 ] else [ v1; v2 ]
+  | Atom.Ra (_, Term.Var v, Term.Cst _) | Atom.Ra (_, Term.Cst _, Term.Var v) -> [ v ]
+  | Atom.Ra (_, Term.Cst _, Term.Cst _) -> []
+
+type t =
+  | Scan of Query.Atom.t
+  | Hash_join of {
+      left : t;
+      right : t;
+      on : string list;
+    }
+  | Merge_join of {
+      left : t;
+      right : t;
+      on : string list;
+    }
+  | Index_join of {
+      left : t;
+      atom : Query.Atom.t;
+      probe_col : string;
+    }
+  | Project of {
+      input : t;
+      out : out_col list;
+    }
+  | Distinct of t
+  | Union of {
+      cols : string list;
+      inputs : t list;
+    }
+  | Materialize of t
+
+let rec out_cols = function
+  | Scan atom -> scan_cols atom
+  | Hash_join { left; right; on } | Merge_join { left; right; on } ->
+    out_cols left @ List.filter (fun c -> not (List.mem c on)) (out_cols right)
+  | Index_join { left; atom; _ } ->
+    let left_cols = out_cols left in
+    left_cols @ List.filter (fun c -> not (List.mem c left_cols)) (scan_cols atom)
+  | Project { out; _ } ->
+    List.map (function `Col c -> c | `Const _ -> "_const") out
+  | Distinct p | Materialize p -> out_cols p
+  | Union { cols; _ } -> cols
+
+let rec scan_count = function
+  | Scan _ -> 1
+  | Hash_join { left; right; _ } | Merge_join { left; right; _ } ->
+    scan_count left + scan_count right
+  | Index_join { left; _ } -> scan_count left + 1
+  | Project { input; _ } -> scan_count input
+  | Distinct p | Materialize p -> scan_count p
+  | Union { inputs; _ } -> List.fold_left (fun n p -> n + scan_count p) 0 inputs
+
+let rec union_arms = function
+  | Scan _ -> 1
+  | Hash_join { left; right; _ } | Merge_join { left; right; _ } ->
+    max (union_arms left) (union_arms right)
+  | Index_join { left; _ } -> union_arms left
+  | Project { input; _ } -> union_arms input
+  | Distinct p | Materialize p -> union_arms p
+  | Union { inputs; _ } ->
+    List.fold_left (fun n p -> max n (union_arms p)) (List.length inputs) inputs
+
+let rec pp ppf = function
+  | Scan atom -> Fmt.pf ppf "Scan(%a)" Query.Atom.pp atom
+  | Hash_join { left; right; on } ->
+    Fmt.pf ppf "@[<v2>HashJoin[%a]@,%a@,%a@]"
+      (Fmt.list ~sep:Fmt.comma Fmt.string)
+      on pp left pp right
+  | Merge_join { left; right; on } ->
+    Fmt.pf ppf "@[<v2>MergeJoin[%a]@,%a@,%a@]"
+      (Fmt.list ~sep:Fmt.comma Fmt.string)
+      on pp left pp right
+  | Index_join { left; atom; probe_col } ->
+    Fmt.pf ppf "@[<v2>IndexJoin[%s->%a]@,%a@]" probe_col Query.Atom.pp atom pp left
+  | Project { input; out } ->
+    let pp_out ppf = function
+      | `Col c -> Fmt.string ppf c
+      | `Const v -> Fmt.pf ppf "'%s'" v
+    in
+    Fmt.pf ppf "@[<v2>Project[%a]@,%a@]" (Fmt.list ~sep:Fmt.comma pp_out) out pp input
+  | Distinct p -> Fmt.pf ppf "@[<v2>Distinct@,%a@]" pp p
+  | Union { inputs; _ } ->
+    Fmt.pf ppf "@[<v2>Union(%d)@,%a@]" (List.length inputs)
+      (Fmt.list ~sep:Fmt.cut pp) inputs
+  | Materialize p -> Fmt.pf ppf "@[<v2>Materialize@,%a@]" pp p

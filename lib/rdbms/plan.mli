@@ -1,0 +1,40 @@
+(** Physical query plans. Plans are built by {!Planner} from FOL query
+    trees, executed by {!Exec}, and costed by {!Explain}. *)
+
+type out_col =
+  [ `Col of string  (** forward a column *)
+  | `Const of string  (** emit a constant (head constants of CQs) *) ]
+
+type t =
+  | Scan of Query.Atom.t
+      (** one atom access: full scan, index lookup when a term is a
+          constant, self-join filter when a variable repeats *)
+  | Hash_join of { left : t; right : t; on : string list }
+      (** natural join on shared column names; the right side is the
+          build side *)
+  | Merge_join of { left : t; right : t; on : string list }
+      (** sort-merge join on shared column names *)
+  | Index_join of { left : t; atom : Query.Atom.t; probe_col : string }
+      (** index nested loop: for every left row, look the role atom up
+          through the index on the side bound by [probe_col] (the
+          paper's layouts index both role attributes) *)
+  | Project of { input : t; out : out_col list }
+  | Distinct of t
+  | Union of { cols : string list; inputs : t list }
+      (** positional union; [cols] names the output *)
+  | Materialize of t
+      (** fragment boundary: the WITH subqueries of the paper's SQL *)
+
+val scan_cols : Query.Atom.t -> string list
+(** Output column names of an atom scan: the distinct variables of the
+    atom, in term order. *)
+
+val out_cols : t -> string list
+(** Output column names of a plan. *)
+
+val scan_count : t -> int
+
+val union_arms : t -> int
+(** Maximum number of inputs of a union in the plan. *)
+
+val pp : Format.formatter -> t -> unit

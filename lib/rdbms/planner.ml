@@ -1,0 +1,148 @@
+open Query
+
+let project_head head plan =
+  let out =
+    List.map
+      (function
+        | Term.Var v -> `Col v
+        | Term.Cst c -> `Const c)
+      head
+  in
+  Plan.Project { input = plan; out }
+
+(* Whether a role atom can be index-probed from the accumulated prefix:
+   the join is on exactly one of its variable positions. *)
+let index_probe_col acc_cols atom =
+  match atom with
+  | Atom.Ra (_, Term.Var v1, Term.Var v2) when v1 <> v2 -> (
+    match List.mem v1 acc_cols, List.mem v2 acc_cols with
+    | true, false -> Some v1
+    | false, true -> Some v2
+    | _ -> None)
+  | Atom.Ra (_, Term.Var v, Term.Cst _) when List.mem v acc_cols -> Some v
+  | Atom.Ra (_, Term.Cst _, Term.Var v) when List.mem v acc_cols -> Some v
+  | Atom.Ra _ | Atom.Ca _ -> None
+
+let body_plan layout atoms =
+  match Estimate.order_atoms layout atoms with
+  | [] -> invalid_arg "Planner: empty body"
+  | first :: rest ->
+    (* fold joins, choosing the operator per step: an index nested loop
+       when the prefix is much smaller than the role table it joins
+       into (the layouts index both role attributes), a hash join
+       otherwise *)
+    List.fold_left
+      (fun (acc, acc_est) atom ->
+        let acc_cols = Plan.out_cols acc in
+        let atom_est = Estimate.atom layout atom in
+        let joined = Estimate.join acc_est atom_est in
+        let plan =
+          match index_probe_col acc_cols atom with
+          | Some probe_col
+            when acc_est.Estimate.rows *. 3. < atom_est.Estimate.rows ->
+            Plan.Index_join { left = acc; atom; probe_col }
+          | _ ->
+            let on =
+              List.filter (fun c -> List.mem c acc_cols) (Plan.scan_cols atom)
+            in
+            Plan.Hash_join { left = acc; right = Plan.Scan atom; on }
+        in
+        plan, joined)
+      (Plan.Scan first, Estimate.atom layout first)
+      rest
+    |> fst
+
+let of_cq layout (cq : Cq.t) =
+  Plan.Distinct (project_head cq.Cq.head (body_plan layout (Cq.atoms cq)))
+
+(* A CQ plan *without* the outer Distinct, for use under a union that
+   deduplicates globally. *)
+let cq_arm layout (cq : Cq.t) = project_head cq.Cq.head (body_plan layout (Cq.atoms cq))
+
+let union_cols out = List.map Term.to_string out
+
+let rec of_fol_inner layout fol =
+  match fol with
+  | Fol.Leaf { out; ucq } -> (
+    let cols = union_cols out in
+    match Ucq.disjuncts ucq with
+    | [ single ] -> Plan.Distinct (cq_arm layout single)
+    | disjuncts ->
+      Plan.Distinct
+        (Plan.Union { cols; inputs = List.map (cq_arm layout) disjuncts }))
+  | Fol.Union { out; branches } ->
+    let cols = union_cols out in
+    Plan.Distinct (Plan.Union { cols; inputs = List.map (of_fol_inner layout) branches })
+  | Fol.Join { out; parts } ->
+    let plans = List.map (fun p -> Plan.Materialize (of_fol_inner layout p)) parts in
+    (* greedy part order: start from the smallest estimated fragment,
+       then repeatedly add the smallest fragment connected (by shared
+       output columns) to the accumulated prefix — never introduce a
+       cross product while a connected fragment remains *)
+    let sized =
+      List.map2 (fun plan part -> plan, fol_rows layout part) plans parts
+    in
+    let joined =
+      match sized with
+      | [] -> invalid_arg "Planner: empty join"
+      | _ ->
+        let smallest =
+          List.fold_left
+            (fun best (p, r) ->
+              match best with
+              | Some (_, r') when r' <= r -> best
+              | _ -> Some (p, r))
+            None sized
+        in
+        let first, first_rows = Option.get smallest in
+        let rec grow acc acc_rows remaining =
+          match remaining with
+          | [] -> acc
+          | _ ->
+            let acc_cols = Plan.out_cols acc in
+            let connected =
+              List.filter
+                (fun (p, _) -> List.exists (fun c -> List.mem c acc_cols) (Plan.out_cols p))
+                remaining
+            in
+            let pool = if connected = [] then remaining else connected in
+            let next =
+              Option.get
+                (List.fold_left
+                   (fun best (p, r) ->
+                     match best with
+                     | Some (_, r') when r' <= r -> best
+                     | _ -> Some (p, r))
+                   None pool)
+            in
+            let next_plan, next_rows = next in
+            let on =
+              List.filter (fun c -> List.mem c acc_cols) (Plan.out_cols next_plan)
+            in
+            (* two big materialised fragments on a single key: a
+               sort-merge join avoids one oversized hash table *)
+            let join =
+              if List.length on = 1 && acc_rows > 10_000. && next_rows > 10_000. then
+                Plan.Merge_join { left = acc; right = next_plan; on }
+              else Plan.Hash_join { left = acc; right = next_plan; on }
+            in
+            grow join
+              (Float.min acc_rows next_rows)
+              (List.filter (fun (p, _) -> p != next_plan) remaining)
+        in
+        grow first first_rows (List.filter (fun (p, _) -> p != first) sized)
+    in
+    Plan.Distinct (project_head out joined)
+
+and fol_rows layout = function
+  | Fol.Leaf { ucq; _ } ->
+    List.fold_left
+      (fun acc d -> acc +. Estimate.cq_rows layout (Cq.atoms d))
+      0. (Ucq.disjuncts ucq)
+  | Fol.Union { branches; _ } ->
+    List.fold_left (fun acc b -> acc +. fol_rows layout b) 0. branches
+  | Fol.Join { parts; _ } ->
+    (* crude: product of part sizes scaled down by shared columns *)
+    List.fold_left (fun acc p -> Float.min acc (fol_rows layout p)) infinity parts
+
+let of_fol layout fol = of_fol_inner layout fol

@@ -1,0 +1,12 @@
+(** Translates FOL query trees into physical plans against a layout:
+    greedy join ordering inside CQs, unions with duplicate elimination
+    for UCQs, and materialised fragments joined together for JUCQ /
+    JUSCQ reformulations — mirroring the
+    [WITH … SELECT DISTINCT … FROM …] SQL shape of §3 of the paper. *)
+
+val of_cq : Layout.t -> Query.Cq.t -> Plan.t
+(** Plan for one CQ: ordered hash joins, projection on the head,
+    duplicate elimination. *)
+
+val of_fol : Layout.t -> Query.Fol.t -> Plan.t
+(** Plan for a full FOL reformulation tree. *)

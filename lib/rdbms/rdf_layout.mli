@@ -1,0 +1,66 @@
+(** A DB2RDF-style {e RDF layout} (Bornea et al., SIGMOD'13 [9]):
+    role assertions are bundled into a wide {e direct primary hash}
+    (DPH) table — one row per subject holding up to [k] (predicate,
+    object) column pairs, predicates hashed to columns, with spill rows
+    on collision — and a {e reverse primary hash} (RPH) table keyed by
+    object. Concept assertions live in a type table.
+
+    Reading one role then requires probing every predicate column of
+    every DPH row (the CASE/OR pattern of the generated SQL), which
+    makes plain CQs cheaper (fewer joins) but reformulated queries much
+    more expensive — the effect §6.3 of the paper observes. *)
+
+type t
+
+val default_width : int
+(** Number of (predicate, object) column pairs per row (8). *)
+
+val of_abox : ?width:int -> Dllite.Abox.t -> t
+
+val width : t -> int
+
+val dict : t -> Dllite.Dict.t
+
+val dph_row_count : t -> int
+
+val rph_row_count : t -> int
+
+val type_row_count : t -> int
+
+val spill_row_count : t -> int
+(** DPH rows beyond the first for some subject (hash collisions). *)
+
+val concept_rows : t -> string -> int array
+(** Scans the type table. *)
+
+val role_rows : t -> string -> (int * int) array
+(** Scans the whole DPH table, probing every predicate column — the
+    expensive access path this layout imposes on reformulations. *)
+
+val role_lookup_subject : t -> string -> int -> (int * int) list
+(** Primary-key access: only the DPH rows of the subject are probed. *)
+
+val role_lookup_object : t -> string -> int -> (int * int) list
+(** Primary-key access on the RPH table. *)
+
+val concept_names : t -> string list
+
+val role_names : t -> string list
+
+val concept_card : t -> string -> int
+
+val role_card : t -> string -> int
+
+val role_ndv : t -> string -> int * int
+(** Distinct subjects and objects of a role (collected at load). *)
+
+val total_facts : t -> int
+
+val individual_count : t -> int
+
+val insert_concept : t -> concept:string -> ind:string -> bool
+(** Adds a type triple; returns [false] when already present. *)
+
+val insert_role : t -> role:string -> subj:string -> obj:string -> bool
+(** Inserts into the DPH and RPH wide tables (spilling on column
+    collisions as at load time) and updates the statistics. *)

@@ -1,0 +1,162 @@
+type t = {
+  cols : string array;
+  rows : int array list;
+}
+
+let make ~cols ~rows = { cols = Array.of_list cols; rows }
+
+let empty ~cols = make ~cols ~rows:[]
+
+let boolean b = { cols = [||]; rows = (if b then [ [||] ] else []) }
+
+let arity r = Array.length r.cols
+
+let cardinality r = List.length r.rows
+
+let col_index r name =
+  let rec go i =
+    if i >= Array.length r.cols then raise Not_found
+    else if String.equal r.cols.(i) name then i
+    else go (i + 1)
+  in
+  go 0
+
+let mem_col r name = Array.exists (String.equal name) r.cols
+
+let common_cols r1 r2 =
+  Array.to_list r1.cols |> List.filter (fun c -> mem_col r2 c)
+
+let project r out =
+  let spec =
+    List.map
+      (function
+        | `Col name -> `Idx (col_index r name), name
+        | `Const v -> `Val v, "_const")
+      out
+  in
+  let cols = List.map snd spec in
+  let extract = List.map fst spec in
+  let rows =
+    List.map
+      (fun row ->
+        Array.of_list
+          (List.map (function `Idx i -> row.(i) | `Val v -> v) extract))
+      r.rows
+  in
+  { cols = Array.of_list cols; rows }
+
+let distinct r =
+  let seen = Hashtbl.create (max 16 (List.length r.rows)) in
+  let rows =
+    List.filter
+      (fun row ->
+        if Hashtbl.mem seen row then false
+        else begin
+          Hashtbl.add seen row ();
+          true
+        end)
+      r.rows
+  in
+  { r with rows }
+
+let union_all ~cols rels =
+  let a = List.length cols in
+  List.iter
+    (fun r ->
+      if arity r <> a then invalid_arg "Relation.union_all: arity mismatch")
+    rels;
+  { cols = Array.of_list cols; rows = List.concat_map (fun r -> r.rows) rels }
+
+let filter_const r name v =
+  let i = col_index r name in
+  { r with rows = List.filter (fun row -> row.(i) = v) r.rows }
+
+let filter_eq_cols r n1 n2 =
+  let i = col_index r n1 and j = col_index r n2 in
+  { r with rows = List.filter (fun row -> row.(i) = row.(j)) r.rows }
+
+type build_table = {
+  table : (int array, int array list) Hashtbl.t;
+  payload_cols : string array;  (* non-join columns of the build side *)
+}
+
+let key_extractor r on =
+  let idxs = Array.of_list (List.map (col_index r) on) in
+  fun row -> Array.map (fun i -> row.(i)) idxs
+
+let build r ~on =
+  let key_of = key_extractor r on in
+  let payload_idx =
+    Array.to_list r.cols
+    |> List.mapi (fun i c -> i, c)
+    |> List.filter (fun (_, c) -> not (List.mem c on))
+  in
+  let payload_cols = Array.of_list (List.map snd payload_idx) in
+  let payload_of row = Array.of_list (List.map (fun (i, _) -> row.(i)) payload_idx) in
+  let table = Hashtbl.create (max 16 (List.length r.rows)) in
+  List.iter
+    (fun row ->
+      let k = key_of row in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt table k) in
+      Hashtbl.replace table k (payload_of row :: cur))
+    r.rows;
+  { table; payload_cols }
+
+let probe ~left ~right_build ~on =
+  let key_of = key_extractor left on in
+  let cols = Array.append left.cols right_build.payload_cols in
+  let rows =
+    List.concat_map
+      (fun row ->
+        match Hashtbl.find_opt right_build.table (key_of row) with
+        | None -> []
+        | Some payloads -> List.map (fun p -> Array.append row p) payloads)
+      left.rows
+  in
+  { cols; rows }
+
+let hash_join r1 r2 ~on = probe ~left:r1 ~right_build:(build r2 ~on) ~on
+
+let merge_join r1 r2 ~on =
+  let key1 = key_extractor r1 on and key2 = key_extractor r2 on in
+  let payload_idx =
+    Array.to_list r2.cols
+    |> List.mapi (fun i c -> i, c)
+    |> List.filter (fun (_, c) -> not (List.mem c on))
+  in
+  let payload_of row = Array.of_list (List.map (fun (i, _) -> row.(i)) payload_idx) in
+  let cols = Array.append r1.cols (Array.of_list (List.map snd payload_idx)) in
+  let sorted r key = List.sort (fun a b -> compare (key a) (key b)) r.rows in
+  let l1 = Array.of_list (sorted r1 key1) and l2 = Array.of_list (sorted r2 key2) in
+  let n1 = Array.length l1 and n2 = Array.length l2 in
+  let rows = ref [] in
+  (* advance two cursors; on equal keys, emit the product of the two
+     equal-key groups *)
+  let rec go i j =
+    if i >= n1 || j >= n2 then ()
+    else
+      let k1 = key1 l1.(i) and k2 = key2 l2.(j) in
+      let c = compare k1 k2 in
+      if c < 0 then go (i + 1) j
+      else if c > 0 then go i (j + 1)
+      else begin
+        let rec group_end arr n key k idx =
+          if idx < n && key arr.(idx) = k then group_end arr n key k (idx + 1) else idx
+        in
+        let i_end = group_end l1 n1 key1 k1 i in
+        let j_end = group_end l2 n2 key2 k2 j in
+        for a = i to i_end - 1 do
+          for b = j to j_end - 1 do
+            rows := Array.append l1.(a) (payload_of l2.(b)) :: !rows
+          done
+        done;
+        go i_end j_end
+      end
+  in
+  go 0 0;
+  { cols; rows = List.rev !rows }
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v>%a (%d rows)@]"
+    (Fmt.array ~sep:Fmt.comma Fmt.string)
+    r.cols (cardinality r)

@@ -1,0 +1,65 @@
+(** Materialised relations: named columns over dictionary-encoded
+    integer values. The unit of data exchanged between physical
+    operators. *)
+
+type t = {
+  cols : string array;  (** column names (query variable names) *)
+  rows : int array list;  (** each row has [Array.length cols] fields *)
+}
+
+val make : cols:string list -> rows:int array list -> t
+
+val empty : cols:string list -> t
+
+val boolean : bool -> t
+(** The two zero-arity relations: [true] is the single empty tuple. *)
+
+val arity : t -> int
+
+val cardinality : t -> int
+
+val col_index : t -> string -> int
+(** Raises [Not_found] when the column does not exist. *)
+
+val mem_col : t -> string -> bool
+
+val common_cols : t -> t -> string list
+(** Column names present in both relations, in first-relation order. *)
+
+val project : t -> [ `Col of string | `Const of int ] list -> t
+(** Projection; [`Const] emits a constant column (used for head
+    constants introduced by reformulation). *)
+
+val distinct : t -> t
+(** Set semantics: removes duplicate rows (hash-based). *)
+
+val union_all : cols:string list -> t list -> t
+(** Positional union of same-arity relations. *)
+
+val filter_const : t -> string -> int -> t
+(** Keeps rows whose column equals the constant. *)
+
+val filter_eq_cols : t -> string -> string -> t
+(** Keeps rows where the two columns are equal. *)
+
+type build_table
+(** A hash table built on the join key of one relation, reusable across
+    probes (DB2-style repeated-scan/build sharing). *)
+
+val build : t -> on:string list -> build_table
+(** Builds the join hash table of a relation on the given columns. *)
+
+val probe :
+  left:t -> right_build:build_table -> on:string list -> t
+(** Probes a prebuilt table with the left relation. Output columns: all
+    left columns, then the non-join columns of the build side. *)
+
+val hash_join : t -> t -> on:string list -> t
+(** [probe] after [build] on the right side. *)
+
+val merge_join : t -> t -> on:string list -> t
+(** Sort-merge join on the shared columns: both inputs are sorted on
+    the key, then merged with group-wise products on equal keys. Same
+    output columns as {!hash_join}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,226 @@
+type table_stats = {
+  card : int;
+  ndv : int array;
+}
+
+type concept_table = {
+  mutable members : int array;  (* sorted, deduplicated *)
+  mutable member_set : (int, unit) Hashtbl.t option;  (* lazy index *)
+}
+
+type role_table = {
+  mutable pairs : (int * int) array;  (* deduplicated *)
+  mutable r_stats : table_stats;
+  mutable by_subject : (int, (int * int) list) Hashtbl.t option;
+  mutable by_object : (int, (int * int) list) Hashtbl.t option;
+  mutable hist_subject : Histogram.t option;  (* lazy column histograms *)
+  mutable hist_object : Histogram.t option;
+}
+
+type t = {
+  dict : Dllite.Dict.t;
+  concepts : (string, concept_table) Hashtbl.t;
+  roles : (string, role_table) Hashtbl.t;
+  mutable total_facts : int;
+}
+
+let dedup_int_array a =
+  let l = Array.to_list a in
+  Array.of_list (List.sort_uniq Int.compare l)
+
+let dedup_pair_array a =
+  let l = Array.to_list a in
+  Array.of_list (List.sort_uniq Stdlib.compare l)
+
+let count_distinct extract pairs =
+  let seen = Hashtbl.create (max 16 (Array.length pairs)) in
+  Array.iter (fun p -> Hashtbl.replace seen (extract p) ()) pairs;
+  Hashtbl.length seen
+
+let of_abox abox =
+  let concepts = Hashtbl.create 64 and roles = Hashtbl.create 64 in
+  let total = ref 0 in
+  List.iter
+    (fun name ->
+      let members = dedup_int_array (Dllite.Abox.concept_members abox name) in
+      total := !total + Array.length members;
+      Hashtbl.replace concepts name { members; member_set = None })
+    (Dllite.Abox.concept_names abox);
+  List.iter
+    (fun name ->
+      let pairs = dedup_pair_array (Dllite.Abox.role_pairs abox name) in
+      total := !total + Array.length pairs;
+      let r_stats =
+        {
+          card = Array.length pairs;
+          ndv = [| count_distinct fst pairs; count_distinct snd pairs |];
+        }
+      in
+      Hashtbl.replace roles name
+        { pairs; r_stats; by_subject = None; by_object = None;
+          hist_subject = None; hist_object = None })
+    (Dllite.Abox.role_names abox);
+  { dict = Dllite.Abox.dict abox; concepts; roles; total_facts = !total }
+
+let dict t = t.dict
+
+let concept_names t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.concepts [])
+
+let role_names t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.roles [])
+
+let concept_rows t name =
+  match Hashtbl.find_opt t.concepts name with
+  | Some ct -> ct.members
+  | None -> [||]
+
+let role_rows t name =
+  match Hashtbl.find_opt t.roles name with Some rt -> rt.pairs | None -> [||]
+
+let concept_stats t name =
+  let members = concept_rows t name in
+  { card = Array.length members; ndv = [| Array.length members |] }
+
+let role_stats t name =
+  match Hashtbl.find_opt t.roles name with
+  | Some rt -> rt.r_stats
+  | None -> { card = 0; ndv = [| 0; 0 |] }
+
+let group_by extract pairs =
+  let h = Hashtbl.create (max 16 (Array.length pairs)) in
+  Array.iter
+    (fun p ->
+      let k = extract p in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt h k) in
+      Hashtbl.replace h k (p :: cur))
+    pairs;
+  h
+
+let role_lookup_subject t name subj =
+  match Hashtbl.find_opt t.roles name with
+  | None -> []
+  | Some rt ->
+    let idx =
+      match rt.by_subject with
+      | Some h -> h
+      | None ->
+        let h = group_by fst rt.pairs in
+        rt.by_subject <- Some h;
+        h
+    in
+    Option.value ~default:[] (Hashtbl.find_opt idx subj)
+
+let role_lookup_object t name obj =
+  match Hashtbl.find_opt t.roles name with
+  | None -> []
+  | Some rt ->
+    let idx =
+      match rt.by_object with
+      | Some h -> h
+      | None ->
+        let h = group_by snd rt.pairs in
+        rt.by_object <- Some h;
+        h
+    in
+    Option.value ~default:[] (Hashtbl.find_opt idx obj)
+
+let concept_mem t name ind =
+  match Hashtbl.find_opt t.concepts name with
+  | None -> false
+  | Some ct ->
+    let idx =
+      match ct.member_set with
+      | Some h -> h
+      | None ->
+        let h = Hashtbl.create (max 16 (Array.length ct.members)) in
+        Array.iter (fun m -> Hashtbl.replace h m ()) ct.members;
+        ct.member_set <- Some h;
+        h
+    in
+    Hashtbl.mem idx ind
+
+let total_facts t = t.total_facts
+
+let individual_count t = Dllite.Dict.size t.dict
+
+(* {1 Incremental maintenance} *)
+
+let insert_concept t ~concept ~ind =
+  let code = Dllite.Dict.encode t.dict ind in
+  let ct =
+    match Hashtbl.find_opt t.concepts concept with
+    | Some ct -> ct
+    | None ->
+      let ct = { members = [||]; member_set = None } in
+      Hashtbl.add t.concepts concept ct;
+      ct
+  in
+  if Array.exists (fun m -> m = code) ct.members then false
+  else begin
+    ct.members <- dedup_int_array (Array.append ct.members [| code |]);
+    (match ct.member_set with Some h -> Hashtbl.replace h code () | None -> ());
+    t.total_facts <- t.total_facts + 1;
+    true
+  end
+
+let insert_role t ~role ~subj ~obj =
+  let s = Dllite.Dict.encode t.dict subj in
+  let o = Dllite.Dict.encode t.dict obj in
+  let rt =
+    match Hashtbl.find_opt t.roles role with
+    | Some rt -> rt
+    | None ->
+      let rt =
+        {
+          pairs = [||];
+          r_stats = { card = 0; ndv = [| 0; 0 |] };
+          by_subject = None;
+          by_object = None;
+          hist_subject = None;
+          hist_object = None;
+        }
+      in
+      Hashtbl.add t.roles role rt;
+      rt
+  in
+  if Array.exists (fun p -> p = (s, o)) rt.pairs then false
+  else begin
+    rt.pairs <- Array.append rt.pairs [| (s, o) |];
+    rt.r_stats <-
+      {
+        card = Array.length rt.pairs;
+        ndv = [| count_distinct fst rt.pairs; count_distinct snd rt.pairs |];
+      };
+    (match rt.by_subject with
+    | Some h ->
+      Hashtbl.replace h s ((s, o) :: Option.value ~default:[] (Hashtbl.find_opt h s))
+    | None -> ());
+    (match rt.by_object with
+    | Some h ->
+      Hashtbl.replace h o ((s, o) :: Option.value ~default:[] (Hashtbl.find_opt h o))
+    | None -> ());
+    (* histograms are summaries; rebuild lazily after updates *)
+    rt.hist_subject <- None;
+    rt.hist_object <- None;
+    t.total_facts <- t.total_facts + 1;
+    true
+  end
+
+let role_histogram t name side =
+  match Hashtbl.find_opt t.roles name with
+  | None -> None
+  | Some rt -> (
+    let cached, col =
+      match side with
+      | `Subject -> rt.hist_subject, fst
+      | `Object -> rt.hist_object, snd
+    in
+    match cached with
+    | Some h -> Some h
+    | None ->
+      let h = Histogram.build (Array.map col rt.pairs) in
+      (match side with
+      | `Subject -> rt.hist_subject <- Some h
+      | `Object -> rt.hist_object <- Some h);
+      Some h)

@@ -1,0 +1,57 @@
+(** The {e simple layout} of §6.1: one unary table per concept, one
+    binary table per role, dictionary-encoded, deduplicated, with
+    per-table statistics and hash indexes on each attribute. *)
+
+type table_stats = {
+  card : int;  (** number of (distinct) rows *)
+  ndv : int array;  (** number of distinct values per attribute *)
+}
+
+type t
+
+val of_abox : Dllite.Abox.t -> t
+
+val dict : t -> Dllite.Dict.t
+
+val concept_names : t -> string list
+
+val role_names : t -> string list
+
+val concept_rows : t -> string -> int array
+(** Sorted, duplicate-free members of the concept ([||] if absent). *)
+
+val role_rows : t -> string -> (int * int) array
+(** Duplicate-free pairs of the role. *)
+
+val concept_stats : t -> string -> table_stats
+
+val role_stats : t -> string -> table_stats
+
+val role_lookup_subject : t -> string -> int -> (int * int) list
+(** Index access: pairs of the role with the given subject. The index
+    is built lazily on first use. *)
+
+val role_lookup_object : t -> string -> int -> (int * int) list
+
+val concept_mem : t -> string -> int -> bool
+(** Index access: membership of an individual in a concept. *)
+
+val total_facts : t -> int
+
+val individual_count : t -> int
+
+(** {2 Incremental maintenance}
+
+    Insertions keep tables deduplicated and update the lazy indexes and
+    statistics in place, so a loaded database can absorb new facts
+    without a reload. *)
+
+val insert_concept : t -> concept:string -> ind:string -> bool
+(** Asserts [concept(ind)]; returns [false] when the fact was already
+    present. *)
+
+val insert_role : t -> role:string -> subj:string -> obj:string -> bool
+
+val role_histogram : t -> string -> [ `Subject | `Object ] -> Histogram.t option
+(** The equi-depth histogram of a role column, built lazily and
+    invalidated by insertions; [None] for an absent role. *)

@@ -1,0 +1,74 @@
+open Dllite
+
+let rdf_type = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+let sub_class = "http://www.w3.org/2000/01/rdf-schema#subClassOf"
+
+let sub_property = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf"
+
+let domain = "http://www.w3.org/2000/01/rdf-schema#domain"
+
+let range = "http://www.w3.org/2000/01/rdf-schema#range"
+
+let disjoint_with = "http://www.w3.org/2002/07/owl#disjointWith"
+
+let property_disjoint = "http://www.w3.org/2002/07/owl#propertyDisjointWith"
+
+let schema_predicates =
+  [ sub_class; domain; range; sub_property; disjoint_with; property_disjoint ]
+
+let short = Triple.local_name
+
+let iri_obj t =
+  match t.Triple.obj with
+  | Triple.Iri i -> short i
+  | Triple.Literal l ->
+    Fmt.invalid_arg "Rdfs: literal %S where an IRI is required" l
+
+let to_axioms triples =
+  List.filter_map
+    (fun t ->
+      let s () = short t.Triple.subject in
+      if t.Triple.predicate = sub_class then
+        Some (Axiom.Concept_sub (Concept.atomic (s ()), Concept.atomic (iri_obj t)))
+      else if t.Triple.predicate = domain then
+        Some
+          (Axiom.Concept_sub
+             (Concept.Exists (Role.named (s ())), Concept.atomic (iri_obj t)))
+      else if t.Triple.predicate = range then
+        Some
+          (Axiom.Concept_sub
+             (Concept.Exists (Role.Inverse (s ())), Concept.atomic (iri_obj t)))
+      else if t.Triple.predicate = sub_property then
+        Some (Axiom.Role_sub (Role.named (s ()), Role.named (iri_obj t)))
+      else if t.Triple.predicate = disjoint_with then
+        Some (Axiom.Concept_disj (Concept.atomic (s ()), Concept.atomic (iri_obj t)))
+      else if t.Triple.predicate = property_disjoint then
+        Some (Axiom.Role_disj (Role.named (s ()), Role.named (iri_obj t)))
+      else None)
+    triples
+
+let to_abox triples =
+  let abox = Abox.create () in
+  List.iter
+    (fun t ->
+      if List.mem t.Triple.predicate schema_predicates then ()
+      else if t.Triple.predicate = rdf_type then
+        Abox.add_concept abox ~concept:(iri_obj t) ~ind:(short t.Triple.subject)
+      else
+        let obj =
+          match t.Triple.obj with
+          | Triple.Iri i -> short i
+          | Triple.Literal l -> l
+        in
+        Abox.add_role abox
+          ~role:(short t.Triple.predicate)
+          ~subj:(short t.Triple.subject) ~obj)
+    triples;
+  abox
+
+let to_kb triples = Kb.make (Tbox.of_axioms (to_axioms triples)) (to_abox triples)
+
+let parse_kb input = to_kb (Triple.parse input)
+
+let load_kb path = to_kb (Triple.load path)

@@ -1,0 +1,32 @@
+(** From RDF graphs to DL-LiteR knowledge bases.
+
+    The RDF Schema constraints correspond to exactly four of the
+    twenty-two DL-LiteR constraint forms (§7 of the paper, and [10]):
+
+    - [C rdfs:subClassOf D]       → [C ⊑ D] (form 1)
+    - [P rdfs:domain C]           → [∃P ⊑ C] (form 4)
+    - [P rdfs:range C]            → [∃P⁻ ⊑ C] (form 5)
+    - [P rdfs:subPropertyOf Q]    → [P ⊑ Q] (form 11)
+
+    plus, beyond plain RDFS, [owl:disjointWith] → [C ⊑ ¬D] and
+    [owl:propertyDisjointWith] → [P ⊑ ¬Q]. All remaining triples are
+    data: [a rdf:type C] becomes a concept assertion, [a P b] a role
+    assertion. Literal-valued triples become role assertions whose
+    object constant is the literal. IRIs are shortened to their local
+    names. *)
+
+val schema_predicates : string list
+(** The IRIs interpreted as schema, in the order above. *)
+
+val to_axioms : Triple.t list -> Dllite.Axiom.t list
+
+val to_abox : Triple.t list -> Dllite.Abox.t
+
+val to_kb : Triple.t list -> Dllite.Kb.t
+(** Splits a graph into its schema (TBox) and data (ABox) parts. *)
+
+val parse_kb : string -> Dllite.Kb.t
+(** [to_kb] of {!Triple.parse}. *)
+
+val load_kb : string -> Dllite.Kb.t
+(** [to_kb] of {!Triple.load}. *)

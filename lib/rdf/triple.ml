@@ -1,0 +1,148 @@
+type node =
+  | Iri of string
+  | Literal of string
+
+type t = {
+  subject : string;
+  predicate : string;
+  obj : node;
+}
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+let rdf_type = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+let well_known =
+  [
+    "rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    "rdfs", "http://www.w3.org/2000/01/rdf-schema#";
+    "owl", "http://www.w3.org/2002/07/owl#";
+    "xsd", "http://www.w3.org/2001/XMLSchema#";
+  ]
+
+(* Raw lexical items of the Turtle subset. *)
+type item =
+  | Full_iri of string
+  | Pname of string * string  (* prefix, local *)
+  | Lit of string
+  | Kw_a
+  | Kw_prefix
+  | Dot
+
+let tokenize input =
+  let n = String.length input in
+  let line = ref 1 in
+  let items = ref [] in
+  let push x = items := x :: !items in
+  let rec go i =
+    if i >= n then ()
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '\n' ->
+        incr line;
+        go (i + 1)
+      | '#' ->
+        let rec skip j = if j < n && input.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i)
+      | '.' ->
+        push Dot;
+        go (i + 1)
+      | '<' ->
+        let rec span j =
+          if j >= n then fail "line %d: unterminated IRI" !line
+          else if input.[j] = '>' then j
+          else span (j + 1)
+        in
+        let stop = span (i + 1) in
+        push (Full_iri (String.sub input (i + 1) (stop - i - 1)));
+        go (stop + 1)
+      | '"' ->
+        let rec span j =
+          if j >= n then fail "line %d: unterminated literal" !line
+          else if input.[j] = '"' then j
+          else span (j + 1)
+        in
+        let stop = span (i + 1) in
+        (* skip optional datatype / language tag up to whitespace *)
+        let rec tail j =
+          if j < n && not (List.mem input.[j] [ ' '; '\t'; '\n'; '\r'; '.' ]) then
+            tail (j + 1)
+          else j
+        in
+        push (Lit (String.sub input (i + 1) (stop - i - 1)));
+        go (tail (stop + 1))
+      | '@' ->
+        if i + 7 <= n && String.sub input i 7 = "@prefix" then begin
+          push Kw_prefix;
+          go (i + 7)
+        end
+        else fail "line %d: unknown directive" !line
+      | _ ->
+        let stop_chars = [ ' '; '\t'; '\n'; '\r'; '.'; '<'; '"' ] in
+        let rec span j =
+          if j < n && not (List.mem input.[j] stop_chars) then span (j + 1) else j
+        in
+        let stop = span i in
+        let word = String.sub input i (stop - i) in
+        if word = "a" then push Kw_a
+        else begin
+          match String.index_opt word ':' with
+          | Some k ->
+            push (Pname (String.sub word 0 k, String.sub word (k + 1) (String.length word - k - 1)))
+          | None -> fail "line %d: expected an IRI, prefixed name or literal: %s" !line word
+        end;
+        go stop
+  in
+  go 0;
+  List.rev !items
+
+let parse input =
+  let prefixes = Hashtbl.create 8 in
+  List.iter (fun (p, iri) -> Hashtbl.replace prefixes p iri) well_known;
+  let resolve = function
+    | Full_iri iri -> iri
+    | Pname (p, local) -> (
+      match Hashtbl.find_opt prefixes p with
+      | Some base -> base ^ local
+      | None -> fail "undeclared prefix %s:" p)
+    | Kw_a -> rdf_type
+    | Lit _ | Kw_prefix | Dot -> fail "expected an IRI"
+  in
+  let rec go items acc =
+    match items with
+    | [] -> List.rev acc
+    | Kw_prefix :: Pname (p, "") :: Full_iri iri :: Dot :: rest ->
+      Hashtbl.replace prefixes p iri;
+      go rest acc
+    | Kw_prefix :: _ -> fail "malformed @prefix declaration"
+    | s :: p :: o :: Dot :: rest ->
+      let subject = resolve s in
+      let predicate = resolve p in
+      let obj = match o with Lit l -> Literal l | other -> Iri (resolve other) in
+      go rest ({ subject; predicate; obj } :: acc)
+    | _ -> fail "truncated statement (missing '.')"
+  in
+  go (tokenize input) []
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (In_channel.input_all ic))
+
+let local_name iri =
+  let cut i = String.sub iri (i + 1) (String.length iri - i - 1) in
+  match String.rindex_opt iri '#' with
+  | Some i -> cut i
+  | None -> (
+    match String.rindex_opt iri '/' with Some i -> cut i | None -> iri)
+
+let pp ppf t =
+  let pp_node ppf = function
+    | Iri i -> Fmt.pf ppf "<%s>" i
+    | Literal l -> Fmt.pf ppf "%S" l
+  in
+  Fmt.pf ppf "<%s> <%s> %a ." t.subject t.predicate pp_node t.obj

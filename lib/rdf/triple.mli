@@ -1,0 +1,39 @@
+(** RDF triples and a parser for a pragmatic Turtle subset:
+
+    {v
+    @prefix ex: <http://example.org/> .
+    ex:damian a ex:PhDStudent .                       # 'a' = rdf:type
+    ex:damian ex:supervisedBy ex:ioana .
+    <http://example.org/ioana> ex:name "Ioana" .
+    ex:PhDStudent rdfs:subClassOf ex:Researcher .
+    v}
+
+    Supported: [@prefix] declarations, IRIs in angle brackets,
+    prefixed names, the [a] keyword, string literals, [#] comments,
+    and [.]-terminated statements (no [;]/[,] abbreviations, no blank
+    nodes). The well-known prefixes [rdf:], [rdfs:] and [owl:] are
+    predefined. *)
+
+type node =
+  | Iri of string  (** full IRI *)
+  | Literal of string
+
+type t = {
+  subject : string;  (** IRI *)
+  predicate : string;  (** IRI *)
+  obj : node;
+}
+
+exception Parse_error of string
+
+val parse : string -> t list
+(** Parses a document. Raises {!Parse_error}. *)
+
+val load : string -> t list
+(** Parses a file. *)
+
+val local_name : string -> string
+(** The fragment after the last [#] or [/] of an IRI — the short name
+    used for concepts, roles and individuals on the DL side. *)
+
+val pp : Format.formatter -> t -> unit

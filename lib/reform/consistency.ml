@@ -1,0 +1,41 @@
+open Query
+
+let x = Term.Var "x"
+
+let y = Term.Var "y"
+
+(* Atoms asserting membership of [t] in a basic concept; existential
+   concepts use a fresh unbound variable. *)
+let concept_atom b t =
+  match b with
+  | Dllite.Concept.Atomic a -> Atom.Ca (a, t)
+  | Dllite.Concept.Exists (Dllite.Role.Named p) -> Atom.Ra (p, t, Cq.fresh_var ())
+  | Dllite.Concept.Exists (Dllite.Role.Inverse p) -> Atom.Ra (p, Cq.fresh_var (), t)
+
+let role_atom r t1 t2 =
+  match r with
+  | Dllite.Role.Named p -> Atom.Ra (p, t1, t2)
+  | Dllite.Role.Inverse p -> Atom.Ra (p, t2, t1)
+
+let violation_queries tbox =
+  List.filter_map
+    (fun axiom ->
+      match axiom with
+      | Dllite.Axiom.Concept_disj (b1, b2) ->
+        Some (Cq.make ~name:"unsat" ~head:[] ~body:[ concept_atom b1 x; concept_atom b2 x ] ())
+      | Dllite.Axiom.Role_disj (r1, r2) ->
+        Some
+          (Cq.make ~name:"unsat" ~head:[] ~body:[ role_atom r1 x y; role_atom r2 x y ] ())
+      | Dllite.Axiom.Concept_sub _ | Dllite.Axiom.Role_sub _ -> None)
+    (Dllite.Tbox.axioms tbox)
+
+let reformulated_violation_queries tbox =
+  List.map (Perfectref.reformulate tbox) (violation_queries tbox)
+
+let is_consistent tbox abox =
+  List.for_all
+    (fun ucq ->
+      List.for_all
+        (fun d -> Dllite.Chase.certain_answers Dllite.Tbox.empty abox d = [])
+        (Ucq.disjuncts ucq))
+    (reformulated_violation_queries tbox)

@@ -1,0 +1,24 @@
+(** Reformulation-based consistency checking — the classical DL-LiteR
+    route: a KB is inconsistent iff some {e violation query} — a
+    Boolean CQ built from a negative inclusion — has a certain answer.
+    Because the violation queries are reformulated like any other CQ,
+    entailed disjointness (through any chain of positive inclusions,
+    including unsatisfiable-concept situations) is captured without a
+    dedicated closure computation.
+
+    This module cross-validates {!Dllite.Kb.check_consistency}, which
+    implements the closure-based check; the test-suite verifies both
+    agree on random KBs. *)
+
+val violation_queries : Dllite.Tbox.t -> Query.Cq.t list
+(** One Boolean CQ per negative inclusion of the TBox: for
+    [B1 ⊑ ¬B2] the query [() ← B1(x) ∧ B2(x)] (with role atoms for
+    existential [Bi]), for [R ⊑ ¬S] the query [() ← R(x,y) ∧ S(x,y)]. *)
+
+val reformulated_violation_queries : Dllite.Tbox.t -> Query.Ucq.t list
+(** The violation queries' UCQ reformulations w.r.t. the positive part
+    of the TBox. *)
+
+val is_consistent : Dllite.Tbox.t -> Dllite.Abox.t -> bool
+(** Evaluates every reformulated violation query against the ABox
+    alone; consistent iff all are empty. *)

@@ -1,0 +1,27 @@
+open Query
+
+let frozen_name t =
+  match t with
+  | Term.Var v -> "_frozen_" ^ v
+  | Term.Cst c -> c
+
+let freeze (q : Cq.t) =
+  let abox = Dllite.Abox.create () in
+  List.iter
+    (fun atom ->
+      match atom with
+      | Atom.Ca (p, t) -> Dllite.Abox.add_concept abox ~concept:p ~ind:(frozen_name t)
+      | Atom.Ra (p, t1, t2) ->
+        Dllite.Abox.add_role abox ~role:p ~subj:(frozen_name t1)
+          ~obj:(frozen_name t2))
+    (Cq.atoms q);
+  abox, List.map frozen_name q.Cq.head
+
+let contained_in tbox q1 q2 =
+  if Cq.arity q1 <> Cq.arity q2 then
+    invalid_arg "Containment.contained_in: arity mismatch";
+  let abox, head = freeze q1 in
+  let answers = Dllite.Chase.certain_answers tbox abox q2 in
+  List.mem head answers
+
+let equivalent tbox q1 q2 = contained_in tbox q1 q2 && contained_in tbox q2 q1

@@ -1,0 +1,21 @@
+(** Query containment relative to a TBox.
+
+    [q1 ⊑_T q2] holds when every certain answer of [q1] is a certain
+    answer of [q2] over every T-consistent ABox — the notion under
+    which reformulations are compared and UCQ reformulations are
+    minimised in the DL-Lite literature.
+
+    Decided by the classical frozen-body (canonical database) test:
+    freeze [q1]'s body into an ABox whose individuals are [q1]'s
+    variables, and check that [q2] certainly answers the frozen head
+    over [⟨T, frozen(q1)⟩]. *)
+
+val freeze : Query.Cq.t -> Dllite.Abox.t * string list
+(** The frozen body of a CQ and the frozen head tuple. Variables become
+    individuals named after themselves; constants stay themselves. *)
+
+val contained_in : Dllite.Tbox.t -> Query.Cq.t -> Query.Cq.t -> bool
+(** [contained_in tbox q1 q2] decides [q1 ⊑_T q2]. The two queries must
+    have the same arity. *)
+
+val equivalent : Dllite.Tbox.t -> Query.Cq.t -> Query.Cq.t -> bool

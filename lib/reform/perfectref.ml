@@ -1,0 +1,120 @@
+open Query
+
+(* Backward application of a negation-free constraint to one atom
+   (the [gr(g, I)] function of [13]). The produced atom set, per
+   axiom, is at most one atom; fresh variables play the role of the
+   unbound placeholder [⊥]. *)
+
+let concept_as_atom lhs t =
+  match lhs with
+  | Dllite.Concept.Atomic a -> Atom.Ca (a, t)
+  | Dllite.Concept.Exists (Dllite.Role.Named p) -> Atom.Ra (p, t, Cq.fresh_var ())
+  | Dllite.Concept.Exists (Dllite.Role.Inverse p) -> Atom.Ra (p, Cq.fresh_var (), t)
+
+let atom_specializations tbox q atom =
+  let positives = Dllite.Tbox.positive_axioms tbox in
+  match atom with
+  | Atom.Ca (a, t) ->
+    List.filter_map
+      (function
+        | Dllite.Axiom.Concept_sub (lhs, Dllite.Concept.Atomic a') when a' = a ->
+          Some (concept_as_atom lhs t)
+        | _ -> None)
+      positives
+  | Atom.Ra (p, t1, t2) ->
+    let from_roles =
+      List.filter_map
+        (function
+          | Dllite.Axiom.Role_sub (r1, r2) when Dllite.Role.name r2 = p ->
+            let swap = Dllite.Role.is_inverse r2 in
+            let s, o = if swap then t2, t1 else t1, t2 in
+            Some
+              (match r1 with
+              | Dllite.Role.Named p' -> Atom.Ra (p', s, o)
+              | Dllite.Role.Inverse p' -> Atom.Ra (p', o, s))
+          | _ -> None)
+        positives
+    in
+    let from_exists =
+      let unbound2 = Cq.is_unbound_var q t2 and unbound1 = Cq.is_unbound_var q t1 in
+      List.filter_map
+        (function
+          | Dllite.Axiom.Concept_sub (lhs, Dllite.Concept.Exists r)
+            when Dllite.Role.name r = p ->
+            if (not (Dllite.Role.is_inverse r)) && unbound2 then
+              Some (concept_as_atom lhs t1)
+            else if Dllite.Role.is_inverse r && unbound1 then
+              Some (concept_as_atom lhs t2)
+            else None
+          | _ -> None)
+        positives
+    in
+    from_roles @ from_exists
+
+let replace_atom q i atom' =
+  let body = List.mapi (fun j a -> if j = i then atom' else a) (Cq.atoms q) in
+  Cq.make ~name:q.Cq.name ~head:q.Cq.head ~body ()
+
+let specializations tbox q i =
+  let atom = List.nth (Cq.atoms q) i in
+  List.map (replace_atom q i) (atom_specializations tbox q atom)
+
+let reformulate_raw tbox q =
+  let seen = Hashtbl.create 256 in
+  let canonical_key cq = Cq.to_string (Cq.canonicalize cq) in
+  Hashtbl.add seen (canonical_key q) ();
+  let results = ref [ q ] in
+  let frontier = Queue.create () in
+  Queue.add q frontier;
+  let push cq =
+    let key = canonical_key cq in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      let cq = Cq.canonicalize cq in
+      results := cq :: !results;
+      Queue.add cq frontier
+    end
+  in
+  while not (Queue.is_empty frontier) do
+    let cur = Queue.pop frontier in
+    let n = Cq.atom_count cur in
+    (* atom specialisation steps *)
+    for i = 0 to n - 1 do
+      List.iter push (specializations tbox cur i)
+    done;
+    (* reduce steps: unify two atoms by their mgu *)
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        match Cq.reduce cur i j with
+        | Some cq -> push cq
+        | None -> ()
+      done
+    done
+  done;
+  Ucq.make (List.rev !results)
+
+let reformulate tbox q = Ucq.minimize (reformulate_raw tbox q)
+
+(* Per-TBox memoisation, keyed on the physical identity of the TBox
+   (a handful per process) and the canonical rendering of the query. *)
+let caches : (Dllite.Tbox.t * (string, Ucq.t) Hashtbl.t) list ref = ref []
+
+let cache_for tbox =
+  match List.find_opt (fun (t, _) -> t == tbox) !caches with
+  | Some (_, h) -> h
+  | None ->
+    let h = Hashtbl.create 512 in
+    caches := (tbox, h) :: !caches;
+    if List.length !caches > 16 then
+      caches := List.filteri (fun i _ -> i < 16) !caches;
+    h
+
+let reformulate_cached tbox q =
+  let h = cache_for tbox in
+  let key = Cq.to_string q in
+  match Hashtbl.find_opt h key with
+  | Some u -> u
+  | None ->
+    let u = reformulate tbox q in
+    Hashtbl.add h key u;
+    u

@@ -1,0 +1,32 @@
+(** CQ-to-UCQ reformulation for DL-LiteR — the pioneering technique of
+    Calvanese et al. {e [13]} presented in §2.2 of the paper.
+
+    Two operations are applied exhaustively, to a fixpoint:
+    - {e atom specialisation}: backward application of a negation-free
+      TBox constraint to one atom (Table 3 forms);
+    - {e reduce}: replacing two atoms by their most general unifier.
+
+    The union of the input CQ and of all generated CQs is a FOL
+    (in fact UCQ) reformulation of the input w.r.t. the TBox: its
+    evaluation over any T-consistent ABox computes the certain
+    answers. *)
+
+val specializations : Dllite.Tbox.t -> Query.Cq.t -> int -> Query.Cq.t list
+(** [specializations tbox q i] is the list of CQs obtained from [q] by
+    applying some applicable TBox constraint backward to the [i]-th
+    body atom. Exposed for unit testing. *)
+
+val reformulate_raw : Dllite.Tbox.t -> Query.Cq.t -> Query.Ucq.t
+(** The exhaustive fixpoint, without containment-based minimisation
+    (duplicates modulo canonical renaming are removed). The input CQ is
+    always the first disjunct. *)
+
+val reformulate : Dllite.Tbox.t -> Query.Cq.t -> Query.Ucq.t
+(** [reformulate_raw] followed by {!Query.Ucq.minimize}: the minimal
+    UCQ reformulation. *)
+
+val reformulate_cached : Dllite.Tbox.t -> Query.Cq.t -> Query.Ucq.t
+(** Same as {!reformulate}, with memoisation keyed on the canonical
+    form of the query — the cover-search algorithms reformulate the
+    same fragment queries repeatedly. The cache is per-TBox (weakly
+    keyed on physical identity). *)

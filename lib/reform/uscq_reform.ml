@@ -1,0 +1,119 @@
+open Query
+
+(* A product is an SCQ in the making: a head and a list of slots, each
+   slot being a non-empty disjunction of atoms that all expose the same
+   join variables to the rest of the query. *)
+type slot = {
+  shared : Term.Set.t;  (* variables visible outside the slot *)
+  alternatives : Atom.t list;  (* sorted, duplicate-free *)
+}
+
+type product = {
+  head : Term.t list;
+  slots : slot list;
+}
+
+let slot_equal s1 s2 =
+  Term.Set.equal s1.shared s2.shared
+  && List.equal Atom.equal s1.alternatives s2.alternatives
+
+let head_vars_of head =
+  List.fold_left
+    (fun acc t -> if Term.is_var t then Term.Set.add t acc else acc)
+    Term.Set.empty head
+
+(* Variables of [atom] that are visible outside of it: head variables
+   and variables shared with other atoms. *)
+let shared_vars head_vars others atom =
+  let outside =
+    List.fold_left (fun acc a -> Term.Set.union acc (Atom.vars a)) head_vars others
+  in
+  Term.Set.inter (Atom.vars atom) outside
+
+let product_of_cq (cq : Cq.t) =
+  let hv = head_vars_of cq.Cq.head in
+  let atoms = Cq.atoms cq in
+  let slots =
+    List.mapi
+      (fun i atom ->
+        let others = List.filteri (fun j _ -> j <> i) atoms in
+        { shared = shared_vars hv others atom; alternatives = [ atom ] })
+      atoms
+  in
+  { head = cq.Cq.head; slots }
+
+(* Merge two products that differ in exactly one slot position, where
+   the differing slots expose the same shared variables. *)
+let try_merge p1 p2 =
+  if List.length p1.slots <> List.length p2.slots then None
+  else if not (List.equal Term.equal p1.head p2.head) then None
+  else begin
+    let paired = List.combine p1.slots p2.slots in
+    let diffs = List.filteri (fun _ (s1, s2) -> not (slot_equal s1 s2)) paired in
+    match diffs with
+    | [ (s1, s2) ] when Term.Set.equal s1.shared s2.shared ->
+      let slots =
+        List.map
+          (fun (s1, s2) ->
+            if slot_equal s1 s2 then s1
+            else
+              {
+                shared = s1.shared;
+                alternatives =
+                  List.sort_uniq Atom.compare (s1.alternatives @ s2.alternatives);
+              })
+          paired
+      in
+      Some { head = p1.head; slots }
+    | _ -> None
+  end
+
+let rec merge_round acc = function
+  | [] -> List.rev acc, false
+  | p :: rest ->
+    let rec absorb p changed kept = function
+      | [] -> p, changed, List.rev kept
+      | p' :: others -> (
+        match try_merge p p' with
+        | Some merged -> absorb merged true kept others
+        | None -> absorb p changed (p' :: kept) others)
+    in
+    let p, changed, rest = absorb p false [] rest in
+    if changed then
+      let merged, _ = merge_round acc (p :: rest) in
+      merged, true
+    else merge_round (p :: acc) rest
+
+let fol_of_product p =
+  match p.slots with
+  | [ { alternatives = [ atom ]; _ } ] ->
+    Fol.of_cq (Cq.make ~head:p.head ~body:[ atom ] ())
+  | slots when List.for_all (fun s -> match s.alternatives with [ _ ] -> true | _ -> false) slots ->
+    (* No factoring happened: keep the plain CQ. *)
+    let body = List.concat_map (fun s -> s.alternatives) slots in
+    Fol.of_cq (Cq.make ~head:p.head ~body ())
+  | slots ->
+    let parts =
+      List.map
+        (fun s ->
+          let out = Term.Set.elements s.shared in
+          let cqs =
+            List.map (fun atom -> Cq.make ~head:out ~body:[ atom ] ()) s.alternatives
+          in
+          Fol.leaf ~out (Ucq.make cqs))
+        slots
+    in
+    Fol.join ~out:p.head parts
+
+let factorize ucq =
+  let products = List.map product_of_cq (Ucq.disjuncts ucq) in
+  let rec fix products =
+    let merged, changed = merge_round [] products in
+    if changed then fix merged else merged
+  in
+  let products = fix products in
+  match List.map fol_of_product products with
+  | [ single ] -> single
+  | branches -> Fol.union branches
+
+let reformulate tbox cq = factorize (Perfectref.reformulate tbox cq)

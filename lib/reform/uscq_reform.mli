@@ -1,0 +1,18 @@
+(** CQ-to-USCQ reformulation: a compact union-of-semi-conjunctive-
+    queries equivalent of the UCQ reformulation, in the spirit of
+    Thomazo's compact rewriting {e [33]}.
+
+    We factorise the minimal UCQ reformulation: disjuncts that agree on
+    all atoms but one (and whose differing atoms share the same join
+    variables with the rest of the query) are merged into a single
+    semi-conjunctive query whose differing position becomes a union of
+    single-atom queries. The result is equivalent to the UCQ by
+    distributivity of ∧ over ∨, and is typically much smaller — the
+    paper reports USCQs behave better than UCQs in an RDBMS. *)
+
+val factorize : Query.Ucq.t -> Query.Fol.t
+(** Factorises a UCQ into a USCQ-shaped FOL query (a union of joins of
+    single-atom unions; lone disjuncts stay plain CQs). *)
+
+val reformulate : Dllite.Tbox.t -> Query.Cq.t -> Query.Fol.t
+(** [factorize] applied to the minimal UCQ reformulation of the CQ. *)

@@ -1,0 +1,72 @@
+open Query
+
+(* Datalog convention: variables are Capitalised, predicates and
+   constants lowercase. *)
+let var_name v =
+  let v = String.concat "" (String.split_on_char '_' v) in
+  if v = "" then "V" else String.capitalize_ascii v
+
+let term_to_text = function
+  | Term.Var v -> var_name v
+  | Term.Cst c -> "\"" ^ c ^ "\""
+
+let pred_name p = String.lowercase_ascii p
+
+let atom_to_text = function
+  | Atom.Ca (p, t) -> Printf.sprintf "%s(%s)" (pred_name p) (term_to_text t)
+  | Atom.Ra (p, t1, t2) ->
+    Printf.sprintf "%s(%s,%s)" (pred_name p) (term_to_text t1) (term_to_text t2)
+
+let head_text name args =
+  if args = [] then name else Printf.sprintf "%s(%s)" name (String.concat "," args)
+
+let rule name args body =
+  Printf.sprintf "%s :- %s." (head_text name args) (String.concat ", " body)
+
+(* Returns the rules defining [node] under predicate [name], innermost
+   first. The atom applying the node's predicate to its outputs is
+   [head_text name (outs node)]. *)
+let rec rules_for counter name node =
+  match node with
+  | Fol.Leaf { ucq; _ } ->
+    List.map
+      (fun (cq : Cq.t) ->
+        rule name
+          (List.map term_to_text cq.Cq.head)
+          (List.map atom_to_text (Cq.atoms cq)))
+      (Ucq.disjuncts ucq)
+  | Fol.Join { out; parts } ->
+    let named_parts =
+      List.map
+        (fun p ->
+          incr counter;
+          Printf.sprintf "f%d" !counter, p)
+        parts
+    in
+    let sub_rules = List.concat_map (fun (n, p) -> rules_for counter n p) named_parts in
+    let body =
+      List.map
+        (fun (n, p) -> head_text n (List.map term_to_text (Fol.out p)))
+        named_parts
+    in
+    sub_rules @ [ rule name (List.map term_to_text out) body ]
+  | Fol.Union { branches; _ } ->
+    List.concat_map
+      (fun b ->
+        incr counter;
+        let bname = Printf.sprintf "u%d" !counter in
+        rules_for counter bname b
+        @ [
+            rule name
+              (List.map term_to_text (Fol.out b))
+              [ head_text bname (List.map term_to_text (Fol.out b)) ];
+          ])
+      branches
+
+let of_fol fol =
+  let counter = ref 0 in
+  String.concat "\n" (rules_for counter "ans" fol) ^ "\n"
+
+let rule_count fol =
+  let counter = ref 0 in
+  List.length (rules_for counter "ans" fol)

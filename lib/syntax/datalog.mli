@@ -1,0 +1,19 @@
+(** Non-recursive Datalog rendering of FOL reformulations, after the
+    CQ-to-Datalog route of Rosati & Almatelli {e [31]} the paper
+    relates to: a JUCQ corresponds to a non-recursive program with one
+    intensional predicate per fragment.
+
+    Each UCQ leaf becomes a set of rules sharing one head predicate;
+    each join node becomes a rule over its parts' head predicates; the
+    distinguished predicate is [ans]. *)
+
+val of_fol : Query.Fol.t -> string
+(** The program text, one rule per line, e.g.:
+    {v
+    f1(X) :- phdstudent(X).
+    f2(X) :- workswith(X,Y), supervisedby(Z,Y).
+    ans(X) :- f1(X), f2(X).
+    v} *)
+
+val rule_count : Query.Fol.t -> int
+(** Number of rules [of_fol] produces. *)

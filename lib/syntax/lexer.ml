@@ -1,0 +1,105 @@
+type token =
+  | Ident of string
+  | Var of string
+  | Str of string
+  | Subsumed
+  | Arrow
+  | Lpar
+  | Rpar
+  | Comma
+  | Minus
+  | Bang
+  | Exists
+  | Eof
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '.'
+
+let tokenize input =
+  let n = String.length input in
+  let line = ref 1 in
+  let tokens = ref [] in
+  let push t = tokens := t :: !tokens in
+  let rec go i =
+    if i >= n then ()
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '\n' ->
+        incr line;
+        go (i + 1)
+      | '#' ->
+        let rec skip j = if j < n && input.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i)
+      | '(' ->
+        push Lpar;
+        go (i + 1)
+      | ')' ->
+        push Rpar;
+        go (i + 1)
+      | ',' ->
+        push Comma;
+        go (i + 1)
+      | '-' ->
+        push Minus;
+        go (i + 1)
+      | '!' ->
+        push Bang;
+        go (i + 1)
+      | '<' ->
+        if i + 1 < n && input.[i + 1] = '=' then begin
+          push Subsumed;
+          go (i + 2)
+        end
+        else if i + 1 < n && input.[i + 1] = '-' then begin
+          push Arrow;
+          go (i + 2)
+        end
+        else error "line %d: expected <= or <- after '<'" !line
+      | '?' ->
+        if i + 1 < n && is_ident_start input.[i + 1] then begin
+          let rec span j = if j < n && is_ident_char input.[j] then span (j + 1) else j in
+          let stop = span (i + 1) in
+          push (Var (String.sub input (i + 1) (stop - i - 1)));
+          go stop
+        end
+        else error "line %d: expected a variable name after '?'" !line
+      | '"' ->
+        let rec span j =
+          if j >= n then error "line %d: unterminated string" !line
+          else if input.[j] = '"' then j
+          else span (j + 1)
+        in
+        let stop = span (i + 1) in
+        push (Str (String.sub input (i + 1) (stop - i - 1)));
+        go (stop + 1)
+      | c when is_ident_start c ->
+        let rec span j = if j < n && is_ident_char input.[j] then span (j + 1) else j in
+        let stop = span i in
+        let word = String.sub input i (stop - i) in
+        push (if String.lowercase_ascii word = "exists" then Exists else Ident word);
+        go stop
+      | c -> error "line %d: unexpected character %C" !line c
+  in
+  go 0;
+  List.rev (Eof :: !tokens)
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "%s" s
+  | Var v -> Fmt.pf ppf "?%s" v
+  | Str s -> Fmt.pf ppf "%S" s
+  | Subsumed -> Fmt.string ppf "<="
+  | Arrow -> Fmt.string ppf "<-"
+  | Lpar -> Fmt.string ppf "("
+  | Rpar -> Fmt.string ppf ")"
+  | Comma -> Fmt.string ppf ","
+  | Minus -> Fmt.string ppf "-"
+  | Bang -> Fmt.string ppf "!"
+  | Exists -> Fmt.string ppf "exists"
+  | Eof -> Fmt.string ppf "<eof>"

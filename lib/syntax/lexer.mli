@@ -1,0 +1,29 @@
+(** A small hand-rolled lexer shared by the TBox and query parsers.
+
+    Tokens: identifiers (letters, digits, [_] and [.]), variables ([?x]),
+    quoted strings, and the punctuation of the two grammars
+    ([<=], [<-], [(], [)], [,], [-], [!], [exists] as a keyword).
+    [#] starts a comment running to the end of the line. *)
+
+type token =
+  | Ident of string  (** concept / role / constant name *)
+  | Var of string  (** [?x] — the name without the marker *)
+  | Str of string  (** ["quoted constant"] *)
+  | Subsumed  (** [<=] *)
+  | Arrow  (** [<-] *)
+  | Lpar
+  | Rpar
+  | Comma
+  | Minus  (** role inverse marker *)
+  | Bang  (** negation, [!] *)
+  | Exists  (** the [exists] keyword *)
+  | Eof
+
+exception Error of string
+(** Raised on an unexpected character, with position information. *)
+
+val tokenize : string -> token list
+(** Tokenizes a whole input (newlines are plain whitespace except that
+    they terminate comments). Raises {!Error}. *)
+
+val pp_token : Format.formatter -> token -> unit

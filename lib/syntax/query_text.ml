@@ -1,0 +1,79 @@
+open Query
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+let parse_term = function
+  | Lexer.Var v :: rest -> Term.Var v, rest
+  | Lexer.Str s :: rest -> Term.Cst s, rest
+  | Lexer.Ident s :: rest -> Term.Cst s, rest
+  | t :: _ -> fail "expected a term, found %a" Lexer.pp_token t
+  | [] -> fail "expected a term, found end of input"
+
+(* term list between parentheses, possibly empty *)
+let parse_args tokens =
+  match tokens with
+  | Lexer.Lpar :: Lexer.Rpar :: rest -> [], rest
+  | Lexer.Lpar :: rest ->
+    let rec more acc tokens =
+      let t, rest = parse_term tokens in
+      match rest with
+      | Lexer.Comma :: rest -> more (t :: acc) rest
+      | Lexer.Rpar :: rest -> List.rev (t :: acc), rest
+      | tok :: _ -> fail "expected , or ) found %a" Lexer.pp_token tok
+      | [] -> fail "unterminated argument list"
+    in
+    more [] rest
+  | t :: _ -> fail "expected (, found %a" Lexer.pp_token t
+  | [] -> fail "expected (, found end of input"
+
+let parse_atom tokens =
+  match tokens with
+  | Lexer.Ident pred :: rest -> (
+    let args, rest = parse_args rest in
+    match args with
+    | [ t ] -> Atom.Ca (pred, t), rest
+    | [ t1; t2 ] -> Atom.Ra (pred, t1, t2), rest
+    | _ -> fail "atom %s must have one or two arguments, got %d" pred (List.length args))
+  | t :: _ -> fail "expected an atom, found %a" Lexer.pp_token t
+  | [] -> fail "expected an atom, found end of input"
+
+let parse input =
+  let tokens = try Lexer.tokenize input with Lexer.Error m -> raise (Parse_error m) in
+  let name, rest =
+    match tokens with
+    | Lexer.Ident name :: rest -> name, rest
+    | t :: _ -> fail "expected the query name, found %a" Lexer.pp_token t
+    | [] -> fail "empty query"
+  in
+  let head, rest = parse_args rest in
+  let rest =
+    match rest with
+    | Lexer.Arrow :: r -> r
+    | t :: _ -> fail "expected <-, found %a" Lexer.pp_token t
+    | [] -> fail "expected <-, found end of input"
+  in
+  let rec atoms acc tokens =
+    let a, rest = parse_atom tokens in
+    match rest with
+    | Lexer.Comma :: rest -> atoms (a :: acc) rest
+    | [ Lexer.Eof ] | [] -> List.rev (a :: acc)
+    | t :: _ -> fail "expected , or end of query, found %a" Lexer.pp_token t
+  in
+  let body = atoms [] rest in
+  try Cq.make ~name ~head ~body () with Invalid_argument m -> raise (Parse_error m)
+
+let term_to_text = function
+  | Term.Var v -> "?" ^ v
+  | Term.Cst c -> "\"" ^ c ^ "\""
+
+let atom_to_text = function
+  | Atom.Ca (p, t) -> Printf.sprintf "%s(%s)" p (term_to_text t)
+  | Atom.Ra (p, t1, t2) ->
+    Printf.sprintf "%s(%s, %s)" p (term_to_text t1) (term_to_text t2)
+
+let to_text (q : Cq.t) =
+  Printf.sprintf "%s(%s) <- %s" q.Cq.name
+    (String.concat ", " (List.map term_to_text q.Cq.head))
+    (String.concat ", " (List.map atom_to_text q.Cq.body))

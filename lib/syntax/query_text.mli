@@ -1,0 +1,21 @@
+(** Textual syntax for conjunctive queries:
+
+    {v
+    q(?x) <- PhDStudent(?x), worksWith(?y, ?x)
+    boss(?y) <- supervisedBy("Damian", ?y)
+    check() <- worksWith("Ioana", "Francois")
+    v}
+
+    Variables are marked with [?]; anything else in an argument
+    position (a bare identifier or a quoted string) is an individual
+    constant. Unary atoms are concept atoms, binary atoms are role
+    atoms. *)
+
+exception Parse_error of string
+
+val parse : string -> Query.Cq.t
+(** Parses one CQ. Raises {!Parse_error} (also on unsafe heads). *)
+
+val to_text : Query.Cq.t -> string
+(** Renders in the syntax accepted by {!parse}; [parse (to_text q)]
+    equals [q] up to variable marking. *)

@@ -1,0 +1,103 @@
+open Dllite
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+let is_concept_name name = name <> "" && name.[0] >= 'A' && name.[0] <= 'Z'
+
+(* A parsed side: either an explicit role expression (from [exists] or
+   a [-] marker), or a bare name resolved by capitalisation. *)
+type side =
+  | Concept_side of Concept.t
+  | Role_side of Role.t
+  | Bare of string
+
+let resolve_concept = function
+  | Concept_side c -> Some c
+  | Role_side _ -> None
+  | Bare n -> if is_concept_name n then Some (Concept.Atomic n) else None
+
+let resolve_role = function
+  | Concept_side _ -> None
+  | Role_side r -> Some r
+  | Bare n -> if is_concept_name n then None else Some (Role.named n)
+
+(* side := [exists] Ident [-] *)
+let parse_side tokens =
+  match tokens with
+  | Lexer.Exists :: Lexer.Ident name :: Lexer.Minus :: rest ->
+    Concept_side (Concept.Exists (Role.Inverse name)), rest
+  | Lexer.Exists :: Lexer.Ident name :: rest ->
+    Concept_side (Concept.Exists (Role.Named name)), rest
+  | Lexer.Ident name :: Lexer.Minus :: rest -> Role_side (Role.Inverse name), rest
+  | Lexer.Ident name :: rest -> Bare name, rest
+  | t :: _ -> fail "expected a concept or role, found %a" Lexer.pp_token t
+  | [] -> fail "unexpected end of input"
+
+let make_axiom lhs negated rhs =
+  match resolve_concept lhs, resolve_concept rhs with
+  | Some c1, Some c2 ->
+    if negated then Axiom.Concept_disj (c1, c2) else Axiom.Concept_sub (c1, c2)
+  | _ -> (
+    match resolve_role lhs, resolve_role rhs with
+    | Some r1, Some r2 ->
+      if negated then Axiom.Role_disj (r1, r2) else Axiom.Role_sub (r1, r2)
+    | _ ->
+      fail
+        "axiom mixes a concept side with a role side (concepts are Capitalised, \
+         roles are not)")
+
+let parse_axioms input =
+  let rec go tokens acc =
+    match tokens with
+    | [ Lexer.Eof ] | [] -> List.rev acc
+    | _ ->
+      let lhs, rest = parse_side tokens in
+      let rest =
+        match rest with
+        | Lexer.Subsumed :: r -> r
+        | t :: _ -> fail "expected <=, found %a" Lexer.pp_token t
+        | [] -> fail "expected <=, found end of input"
+      in
+      let negated, rest =
+        match rest with Lexer.Bang :: r -> true, r | r -> false, r
+      in
+      let rhs, rest = parse_side rest in
+      go rest (make_axiom lhs negated rhs :: acc)
+  in
+  try go (Lexer.tokenize input) [] with Lexer.Error msg -> raise (Parse_error msg)
+
+let parse input = Tbox.of_axioms (parse_axioms input)
+
+let concept_to_text = function
+  | Concept.Atomic a -> a
+  | Concept.Exists (Role.Named p) -> "exists " ^ p
+  | Concept.Exists (Role.Inverse p) -> "exists " ^ p ^ "-"
+
+let role_to_text = function Role.Named p -> p | Role.Inverse p -> p ^ "-"
+
+let axiom_to_text = function
+  | Axiom.Concept_sub (b1, b2) ->
+    Printf.sprintf "%s <= %s" (concept_to_text b1) (concept_to_text b2)
+  | Axiom.Concept_disj (b1, b2) ->
+    Printf.sprintf "%s <= !%s" (concept_to_text b1) (concept_to_text b2)
+  | Axiom.Role_sub (r1, r2) ->
+    Printf.sprintf "%s <= %s" (role_to_text r1) (role_to_text r2)
+  | Axiom.Role_disj (r1, r2) ->
+    Printf.sprintf "%s <= !%s" (role_to_text r1) (role_to_text r2)
+
+let to_text tbox =
+  String.concat "\n" (List.map axiom_to_text (Tbox.axioms tbox)) ^ "\n"
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (In_channel.input_all ic))
+
+let save tbox path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_text tbox))

@@ -1,0 +1,38 @@
+(** Textual syntax for DL-LiteR TBoxes.
+
+    One axiom per (logical) line, [#] comments:
+
+    {v
+    # concepts start with an uppercase letter, roles with a lowercase one
+    PhDStudent <= Researcher          # concept inclusion
+    exists worksWith <= Researcher    # domain
+    exists worksWith- <= Researcher   # range
+    PhDStudent <= exists advisor      # mandatory participation
+    supervisedBy <= worksWith         # role inclusion
+    worksWith <= worksWith-           # role inclusion with inverse
+    PhDStudent <= !Professor          # concept disjointness
+    teacherOf <= !takesCourse         # role disjointness
+    v}
+
+    The concept-versus-role reading of a plain name follows the
+    capitalisation convention above; [exists] and [-] force the role
+    reading of the name they apply to. *)
+
+exception Parse_error of string
+
+val parse : string -> Dllite.Tbox.t
+(** Parses a whole TBox. Raises {!Parse_error}. *)
+
+val parse_axioms : string -> Dllite.Axiom.t list
+(** Same, without building the saturated TBox. *)
+
+val axiom_to_text : Dllite.Axiom.t -> string
+(** Renders an axiom in the syntax accepted by {!parse}. *)
+
+val to_text : Dllite.Tbox.t -> string
+(** One axiom per line; [parse (to_text t)] has the same axioms. *)
+
+val load : string -> Dllite.Tbox.t
+(** Reads a TBox from a file. *)
+
+val save : Dllite.Tbox.t -> string -> unit

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "obda"
+    [
+      "query", Test_query.suite;
+      "dllite", Test_dllite.suite;
+      "reform", Test_reform.suite;
+      "covers", Test_cover.suite;
+      "rdbms", Test_rdbms.suite;
+      "optimizer", Test_optimizer.suite;
+      "obda", Test_obda.suite;
+      "lubm", Test_lubm.suite;
+      "sql", Test_sql.suite;
+      "syntax", Test_syntax.suite;
+      "rdf", Test_rdf.suite;
+    ]

@@ -1,0 +1,123 @@
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let sample_graph =
+  {|
+  @prefix ex: <http://example.org/lab#> .
+  # schema
+  ex:PhDStudent rdfs:subClassOf ex:Researcher .
+  ex:supervisedBy rdfs:subPropertyOf ex:worksWith .
+  ex:supervisedBy rdfs:domain ex:PhDStudent .
+  ex:supervisedBy rdfs:range ex:Researcher .
+  ex:Researcher owl:disjointWith ex:Paper .
+  # data
+  ex:ioana a ex:Researcher .
+  ex:damian ex:supervisedBy ex:ioana .
+  <http://example.org/lab#francois> a ex:Researcher .
+  ex:damian ex:name "Damian" .
+  |}
+
+(* {1 Triple parsing} *)
+
+let test_parse_triples () =
+  let triples = Rdf.Triple.parse sample_graph in
+  check_int "nine triples" 9 (List.length triples);
+  let first = List.hd triples in
+  Alcotest.(check string)
+    "prefix resolution" "http://example.org/lab#PhDStudent" first.Rdf.Triple.subject;
+  Alcotest.(check string)
+    "well-known rdfs prefix" "http://www.w3.org/2000/01/rdf-schema#subClassOf"
+    first.Rdf.Triple.predicate;
+  check_bool "literal object kept" true
+    (List.exists
+       (fun t -> t.Rdf.Triple.obj = Rdf.Triple.Literal "Damian")
+       triples)
+
+let test_parse_errors () =
+  let bad s =
+    match Rdf.Triple.parse s with
+    | exception Rdf.Triple.Parse_error _ -> true
+    | _ -> false
+  in
+  check_bool "undeclared prefix" true (bad "foo:a foo:b foo:c .");
+  check_bool "missing dot" true (bad "<a> <b> <c>");
+  check_bool "unterminated iri" true (bad "<a");
+  check_bool "literal as predicate" true (bad {|<a> "p" <c> .|})
+
+let test_local_name () =
+  Alcotest.(check string) "hash" "PhDStudent"
+    (Rdf.Triple.local_name "http://example.org/lab#PhDStudent");
+  Alcotest.(check string) "slash" "ioana" (Rdf.Triple.local_name "http://ex.org/ioana");
+  Alcotest.(check string) "plain" "x" (Rdf.Triple.local_name "x")
+
+(* {1 RDFS mapping} *)
+
+let test_rdfs_mapping () =
+  let kb = Rdf.Rdfs.parse_kb sample_graph in
+  let tbox = Dllite.Kb.tbox kb and abox = Dllite.Kb.abox kb in
+  check_int "five axioms" 5 (Dllite.Tbox.axiom_count tbox);
+  check_bool "subclass mapped" true
+    (Dllite.Tbox.entails_concept_sub tbox
+       (Dllite.Concept.atomic "PhDStudent")
+       (Dllite.Concept.atomic "Researcher"));
+  check_bool "domain mapped" true
+    (Dllite.Tbox.entails_concept_sub tbox
+       (Dllite.Concept.Exists (Dllite.Role.named "supervisedBy"))
+       (Dllite.Concept.atomic "PhDStudent"));
+  check_bool "disjointness mapped" true
+    (Dllite.Tbox.disjoint_concepts tbox
+       (Dllite.Concept.atomic "Researcher")
+       (Dllite.Concept.atomic "Paper"));
+  (* data: 2 type assertions + supervisedBy + name *)
+  check_int "concept assertions" 2 (Dllite.Abox.concept_assertion_count abox);
+  check_int "role assertions" 2 (Dllite.Abox.role_assertion_count abox)
+
+let test_rdf_end_to_end () =
+  let kb = Rdf.Rdfs.parse_kb sample_graph in
+  check_bool "consistent" true (Dllite.Kb.is_consistent kb);
+  let engine = Obda.make_engine `Pglite `Simple (Dllite.Kb.abox kb) in
+  let q = Syntax.Query_text.parse "q(?x) <- Researcher(?x)" in
+  let answers = Obda.answers_exn engine (Dllite.Kb.tbox kb) Obda.Ucq q in
+  (* damian is a Researcher only through domain + subclass reasoning —
+     wait: domain gives PhDStudent, subclass gives Researcher; ioana is
+     declared; francois is declared; ioana also via range *)
+  Alcotest.(check (list (list string)))
+    "reasoned researchers"
+    [ [ "damian" ]; [ "francois" ]; [ "ioana" ] ]
+    answers
+
+let test_rdf_inconsistency_detected () =
+  let bad =
+    sample_graph ^ "\n  ex:ioana a ex:Paper .\n"
+  in
+  let kb = Rdf.Rdfs.parse_kb bad in
+  check_bool "researcher & paper clash" false (Dllite.Kb.is_consistent kb);
+  check_bool "reformulation check agrees" false
+    (Reform.Consistency.is_consistent (Dllite.Kb.tbox kb) (Dllite.Kb.abox kb))
+
+let test_rdf_covers_work () =
+  (* the cover machinery runs on RDFS-mapped TBoxes too *)
+  let kb = Rdf.Rdfs.parse_kb sample_graph in
+  let q =
+    Syntax.Query_text.parse "q(?x, ?y) <- Researcher(?x), supervisedBy(?x, ?y)"
+  in
+  let tbox = Dllite.Kb.tbox kb in
+  let root = Covers.Safety.root_cover tbox q in
+  check_bool "root cover safe" true (Covers.Safety.is_safe tbox root);
+  let engine = Obda.make_engine `Db2lite `Simple (Dllite.Kb.abox kb) in
+  Alcotest.(check (list (list string)))
+    "gdl over rdf data"
+    [ [ "damian"; "ioana" ] ]
+    (Obda.answers_exn engine tbox (Obda.Gdl Obda.Ext_cost) q)
+
+let suite =
+  [
+    Alcotest.test_case "parse triples" `Quick test_parse_triples;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "local names" `Quick test_local_name;
+    Alcotest.test_case "rdfs mapping" `Quick test_rdfs_mapping;
+    Alcotest.test_case "rdf end to end" `Quick test_rdf_end_to_end;
+    Alcotest.test_case "rdf inconsistency" `Quick test_rdf_inconsistency_detected;
+    Alcotest.test_case "rdf covers" `Quick test_rdf_covers_work;
+  ]
