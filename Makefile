@@ -1,0 +1,27 @@
+DUNE ?= dune
+
+.PHONY: all build test bench-smoke bench ci clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test:
+	$(DUNE) runtest
+
+# A quick parallel-evaluation smoke run: Figure 2 on a 5k-fact dataset
+# at jobs=2, recording per-cell timings (and the jobs=1 baselines) to
+# BENCH_PR1.json.
+bench-smoke: build
+	$(DUNE) exec bench/main.exe -- --exp fig2-small --small 5000 --jobs 2 \
+	  --json BENCH_PR1.json
+
+# The full benchmark suite at the default (sequential) job count.
+bench: build
+	$(DUNE) exec bench/main.exe
+
+ci: test bench-smoke
+
+clean:
+	$(DUNE) clean

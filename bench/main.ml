@@ -12,9 +12,13 @@
      E9 ablation-gq  §6.3      — generalized covers on/off
 
    Usage: main.exe [--exp ID]… [--small N] [--large N] [--seed S]
-                   [--bechamel]
-   With no --exp, every experiment runs. --bechamel additionally runs
-   one Bechamel micro-benchmark group per figure. *)
+                   [--jobs N] [--json FILE] [--bechamel]
+   With no --exp, every experiment runs. --jobs N evaluates with N
+   domains (default 1 = the sequential engine; 0 = all cores) and the
+   figure experiments then additionally evaluate at jobs=1 to report
+   the parallel speedup. --json FILE dumps per-experiment and per-cell
+   timings. --bechamel additionally runs one Bechamel micro-benchmark
+   group per figure. *)
 
 let small_facts = ref 30_000
 
@@ -26,7 +30,64 @@ let selected : string list ref = ref []
 
 let with_bechamel = ref false
 
+let jobs = ref 1
+
+let json_file : string option ref = ref None
+
 let tbox = Lubm.Ontology.tbox
+
+(* {1 JSON emission}
+
+   Records accumulate as serialised objects and are written in one
+   piece at exit, so a crashed experiment loses the file rather than
+   truncating it. *)
+
+let json_records : string list ref = ref []
+
+let record_json fields =
+  if !json_file <> None then
+    json_records :=
+      ("{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k v) fields)
+      ^ "}")
+      :: !json_records
+
+let json_cell ~exp ~query ~strategy ~cell_jobs ~search_ms ~cqs outcome =
+  let tail =
+    match outcome with
+    | Ok (ms, _) -> [ "eval_ms", Printf.sprintf "%.3f" ms ]
+    | Error e -> [ "error", Printf.sprintf "%S" e ]
+  in
+  record_json
+    ([ "exp", Printf.sprintf "%S" exp;
+       "query", Printf.sprintf "%S" query;
+       "strategy", Printf.sprintf "%S" strategy;
+       "jobs", string_of_int cell_jobs;
+       "search_ms", Printf.sprintf "%.3f" search_ms;
+       "cqs", string_of_int cqs ]
+    @ tail)
+
+let write_json () =
+  match !json_file with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    Printf.fprintf oc
+      "{\n\
+      \  \"bench\": \"obda-cover-reformulation\",\n\
+      \  \"seed\": %d,\n\
+      \  \"small_facts\": %d,\n\
+      \  \"large_facts\": %d,\n\
+      \  \"jobs\": %d,\n\
+      \  \"recommended_jobs\": %d,\n\
+      \  \"records\": [\n\
+      \    %s\n\
+      \  ]\n\
+       }\n"
+      !seed !small_facts !large_facts !jobs
+      (Parallel.recommended_jobs ())
+      (String.concat ",\n    " (List.rev !json_records));
+    close_out oc;
+    Fmt.pr "[json] wrote %d records to %s@." (List.length !json_records) file
 
 (* {1 Dataset and engine caches} *)
 
@@ -61,7 +122,7 @@ let engine_for kind layout facts =
 
 (* Evaluate a reformulation through an engine: median of three runs for
    fast queries, a single run once evaluation exceeds a second. *)
-let timed_eval engine fol =
+let timed_eval ?(eval_jobs = 1) engine fol =
   let layout = Obda.layout engine in
   let profile = Obda.profile engine in
   let sql_bytes = lazy (Sql.Sql_gen.sql_length layout fol) in
@@ -73,7 +134,8 @@ let timed_eval engine fol =
     let once () =
       let t0 = Unix.gettimeofday () in
       let answers =
-        Rdbms.Exec.answers ~config:profile.Rdbms.Explain.exec_config layout plan
+        Rdbms.Exec.answers ~config:profile.Rdbms.Explain.exec_config ~jobs:eval_jobs
+          layout plan
       in
       Unix.gettimeofday () -. t0, answers
     in
@@ -92,11 +154,40 @@ let strategy_columns =
   [ "UCQ", Obda.Ucq; "Croot", Obda.Croot; "GDL/RDBMS", Obda.Gdl Obda.Rdbms_cost;
     "GDL/ext", Obda.Gdl Obda.Ext_cost ]
 
-let run_cell engine strategy q =
+(* A figure cell at the configured job count, plus — when running
+   parallel — the sequential baseline of the same reformulation, so
+   the figure experiments report the jobs=1 vs jobs=N trajectory. The
+   per-strategy (sequential, parallel) eval-time sums accumulate into
+   [speedups]. *)
+let run_cell_tracked ~exp ~speedups ~query engine (strategy_name, strategy) q =
   let t0 = Unix.gettimeofday () in
   let fol = Obda.reformulate engine tbox strategy q in
   let search_ms = (Unix.gettimeofday () -. t0) *. 1000. in
-  search_ms, Query.Fol.cq_count fol, timed_eval engine fol
+  let cqs = Query.Fol.cq_count fol in
+  let shown = timed_eval ~eval_jobs:!jobs engine fol in
+  json_cell ~exp ~query ~strategy:strategy_name ~cell_jobs:!jobs ~search_ms ~cqs shown;
+  if !jobs > 1 then begin
+    let baseline = timed_eval ~eval_jobs:1 engine fol in
+    json_cell ~exp ~query ~strategy:strategy_name ~cell_jobs:1 ~search_ms ~cqs baseline;
+    match baseline, shown with
+    | Ok (ms1, _), Ok (msn, _) ->
+      let s1, sn = Option.value ~default:(0., 0.) (Hashtbl.find_opt speedups strategy_name) in
+      Hashtbl.replace speedups strategy_name (s1 +. ms1, sn +. msn)
+    | _ -> ()
+  end;
+  search_ms, cqs, shown
+
+let report_speedups ~columns speedups =
+  if !jobs > 1 then begin
+    Fmt.pr "@.speedup at jobs=%d vs jobs=1 (total eval time):@." !jobs;
+    List.iter
+      (fun name ->
+        match Hashtbl.find_opt speedups name with
+        | Some (s1, sn) when sn > 0. ->
+          Fmt.pr "  %-14s %8.1f ms -> %8.1f ms  (%.2fx)@." name s1 sn (s1 /. sn)
+        | _ -> Fmt.pr "  %-14s (no complete cells)@." name)
+      columns
+  end
 
 (* {1 E1 — Table 6: search-space sizes} *)
 
@@ -147,32 +238,37 @@ let exp_edl_vs_gdl () =
 
 (* {1 E3/E4 — Figure 2: evaluation time on the Postgres-like engine} *)
 
-let figure2 facts =
+let figure2 ~exp facts =
   let engine = engine_for `Pglite `Simple facts in
-  Fmt.pr "@.== Figure 2: evaluation time (ms) on pglite/simple, %s ==@."
-    (Lubm.Generator.scale_name facts);
+  Fmt.pr "@.== Figure 2: evaluation time (ms) on pglite/simple, %s, jobs=%d ==@."
+    (Lubm.Generator.scale_name facts) !jobs;
   Fmt.pr "   (paper: UCQ poor, Croot sometimes worse, GDL best;@.";
   Fmt.pr "    GDL/RDBMS misled on the largest reformulations, GDL/ext not)@.@.";
   Fmt.pr "%-4s" "qry";
   List.iter (fun (n, _) -> Fmt.pr " %14s" n) strategy_columns;
   Fmt.pr "@.";
+  let speedups = Hashtbl.create 8 in
   List.iter
     (fun e ->
       Fmt.pr "%-4s" e.Lubm.Workload.name;
       List.iter
-        (fun (_, strategy) ->
-          match run_cell engine strategy e.Lubm.Workload.query with
+        (fun col ->
+          match
+            run_cell_tracked ~exp ~speedups ~query:e.Lubm.Workload.name engine col
+              e.Lubm.Workload.query
+          with
           | _, cqs, Ok (ms, _) -> Fmt.pr " %8.1f (%3d)" ms cqs
           | _, _, Error _ -> Fmt.pr " %14s" "FAILED")
         strategy_columns;
       Fmt.pr "@.")
-    Lubm.Workload.queries
+    Lubm.Workload.queries;
+  report_speedups ~columns:(List.map fst strategy_columns) speedups
 
 (* {1 E5/E6 — Figure 3: DB2-like engine, simple and RDF layouts} *)
 
-let figure3 facts ~with_rdf_gdl =
-  Fmt.pr "@.== Figure 3: evaluation time (ms) on db2lite, %s ==@."
-    (Lubm.Generator.scale_name facts);
+let figure3 ~exp facts ~with_rdf_gdl =
+  Fmt.pr "@.== Figure 3: evaluation time (ms) on db2lite, %s, jobs=%d ==@."
+    (Lubm.Generator.scale_name facts) !jobs;
   Fmt.pr "   (paper: RDF-layout reformulations perform very poorly or fail@.";
   Fmt.pr "    with 'statement too long'; simple layout + GDL is best)@.@.";
   let simple = engine_for `Db2lite `Simple facts in
@@ -187,17 +283,22 @@ let figure3 facts ~with_rdf_gdl =
   Fmt.pr "%-4s" "qry";
   List.iter (fun (n, _, _) -> Fmt.pr " %13s" n) columns;
   Fmt.pr "@.";
+  let speedups = Hashtbl.create 8 in
   List.iter
     (fun e ->
       Fmt.pr "%-4s" e.Lubm.Workload.name;
       List.iter
-        (fun (_, engine, strategy) ->
-          match run_cell engine strategy e.Lubm.Workload.query with
+        (fun (name, engine, strategy) ->
+          match
+            run_cell_tracked ~exp ~speedups ~query:e.Lubm.Workload.name engine
+              (name, strategy) e.Lubm.Workload.query
+          with
           | _, _, Ok (ms, _) -> Fmt.pr " %13.1f" ms
           | _, _, Error _ -> Fmt.pr " %13s" "TOO-LONG")
         columns;
       Fmt.pr "@.")
-    Lubm.Workload.queries
+    Lubm.Workload.queries;
+  report_speedups ~columns:(List.map (fun (n, _, _) -> n) columns) speedups
 
 (* {1 E7 — §6.4: GDL running time and time-limited GDL} *)
 
@@ -434,10 +535,10 @@ let experiments =
   [
     "table6", exp_table6;
     "edl-vs-gdl", exp_edl_vs_gdl;
-    "fig2-small", (fun () -> figure2 !small_facts);
-    "fig2-large", (fun () -> figure2 !large_facts);
-    "fig3-small", (fun () -> figure3 !small_facts ~with_rdf_gdl:true);
-    "fig3-large", (fun () -> figure3 !large_facts ~with_rdf_gdl:false);
+    "fig2-small", (fun () -> figure2 ~exp:"fig2-small" !small_facts);
+    "fig2-large", (fun () -> figure2 ~exp:"fig2-large" !large_facts);
+    "fig3-small", (fun () -> figure3 ~exp:"fig3-small" !small_facts ~with_rdf_gdl:true);
+    "fig3-large", (fun () -> figure3 ~exp:"fig3-large" !large_facts ~with_rdf_gdl:false);
     "gdl-time", exp_gdl_time;
     "anatomy", exp_anatomy;
     "ablation-gq", exp_ablation;
@@ -447,7 +548,10 @@ let experiments =
   ]
 
 let () =
-  let usage = "main.exe [--exp ID]... [--small N] [--large N] [--seed S] [--bechamel]" in
+  let usage =
+    "main.exe [--exp ID]... [--small N] [--large N] [--seed S] [--jobs N] \
+     [--json FILE] [--bechamel]"
+  in
   let spec =
     [
       "--exp", Arg.String (fun s -> selected := s :: !selected),
@@ -456,10 +560,25 @@ let () =
       "--small", Arg.Set_int small_facts, " facts in the small dataset (default 30000)";
       "--large", Arg.Set_int large_facts, " facts in the large dataset (default 120000)";
       "--seed", Arg.Set_int seed, " generator seed (default 42)";
+      "--jobs", Arg.Set_int jobs,
+        " evaluation domains (default 1 = sequential; 0 = all cores)";
+      "--json", Arg.String (fun f -> json_file := Some f),
+        " dump per-cell and per-experiment timings to FILE";
       "--bechamel", Arg.Set with_bechamel, " also run the Bechamel micro-benchmarks";
     ]
   in
   Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) usage;
+  if !jobs <= 0 then jobs := Parallel.recommended_jobs ();
+  Parallel.set_default_jobs !jobs;
+  (* fail on an unwritable --json target now, not after the full run *)
+  (match !json_file with
+  | Some file -> (
+    match open_out file with
+    | oc -> close_out oc
+    | exception Sys_error msg ->
+      Fmt.epr "cannot write --json file: %s@." msg;
+      exit 2)
+  | None -> ());
   let to_run =
     match !selected with
     | [] -> experiments
@@ -477,6 +596,14 @@ let () =
   Fmt.pr "TBox: %d concepts, %d roles, %d constraints; workload: Q1-Q13, A3-A6@."
     Lubm.Ontology.concept_count Lubm.Ontology.role_count Lubm.Ontology.axiom_count;
   let t0 = Unix.gettimeofday () in
-  List.iter (fun (_, f) -> f ()) to_run;
+  List.iter
+    (fun (name, f) ->
+      let te = Unix.gettimeofday () in
+      f ();
+      record_json
+        [ "exp", Printf.sprintf "%S" name;
+          "total_ms", Printf.sprintf "%.3f" ((Unix.gettimeofday () -. te) *. 1000.) ])
+    to_run;
   if !with_bechamel then bechamel_suite ();
+  write_json ();
   Fmt.pr "@.total bench time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -50,6 +50,15 @@ let strategy_arg =
 let limit_arg =
   Arg.(value & opt int 20 & info [ "limit" ] ~docv:"K" ~doc:"Print at most $(docv) answers.")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Evaluate plans with $(docv) domains ($(b,1) = sequential, \
+                 $(b,0) = all cores). Any job count returns the same answers.")
+
+let apply_jobs jobs =
+  Parallel.set_default_jobs (if jobs <= 0 then Parallel.recommended_jobs () else jobs)
+
 let tbox_arg =
   Arg.(value & opt (some string) None
        & info [ "tbox" ] ~docv:"FILE"
@@ -128,7 +137,9 @@ let workload_cmd =
 (* {1 answer} *)
 
 let answer_cmd =
-  let run facts seed data rdf tbox_file inline qname engine_kind layout strategy limit =
+  let run facts seed data rdf tbox_file inline qname engine_kind layout strategy limit
+      jobs =
+    apply_jobs jobs;
     let tbox, abox = load_kb rdf tbox_file data facts seed in
     let engine = Obda.make_engine engine_kind layout abox in
     let q = find_query ~inline qname in
@@ -154,7 +165,7 @@ let answer_cmd =
     (Cmd.info "answer" ~doc:"Answer a workload query end to end.")
     Term.(const run $ facts_arg $ seed_arg $ data_arg $ rdf_arg $ tbox_arg
           $ query_string_arg $ query_arg $ engine_arg $ layout_arg $ strategy_arg
-          $ limit_arg)
+          $ limit_arg $ jobs_arg)
 
 (* {1 explain} *)
 

@@ -19,16 +19,22 @@ let join_parts q parts =
   | [ single ] when List.equal Term.equal (Fol.out single) q.Cq.head -> single
   | parts -> Fol.join ~out:q.Cq.head parts
 
-let of_cover ?(language = Ucq_fragments) tbox cover =
+(* Fragments reformulate independently (PerfectRef per fragment), so
+   they fan out on the domain pool; part order is preserved, keeping
+   the joined FOL identical to the sequential result. Nested inside a
+   parallel cover-cost batch the fan-out degrades to sequential. *)
+let of_cover ?(language = Ucq_fragments) ?jobs tbox cover =
   let q = cover.Cover.query in
   let parts =
-    List.map (reformulate_fragment language tbox) (Cover.fragment_queries cover)
+    Parallel.map ?jobs (reformulate_fragment language tbox)
+      (Cover.fragment_queries cover)
   in
   join_parts q parts
 
-let of_generalized ?(language = Ucq_fragments) tbox gcover =
+let of_generalized ?(language = Ucq_fragments) ?jobs tbox gcover =
   let q = gcover.Generalized.query in
   let parts =
-    List.map (reformulate_fragment language tbox) (Generalized.fragment_queries gcover)
+    Parallel.map ?jobs (reformulate_fragment language tbox)
+      (Generalized.fragment_queries gcover)
   in
   join_parts q parts

@@ -11,7 +11,7 @@ val ucq : Dllite.Tbox.t -> Query.Cq.t -> Query.Fol.t
 (** The plain (single-fragment) UCQ reformulation, as a FOL query. *)
 
 val of_cover :
-  ?language:fragment_language -> Dllite.Tbox.t -> Cover.t -> Query.Fol.t
+  ?language:fragment_language -> ?jobs:int -> Dllite.Tbox.t -> Cover.t -> Query.Fol.t
 (** The cover-based reformulation of the cover's query: a join of the
     reformulated fragment queries, projected on the query head. When
     the cover is safe, this is a FOL reformulation (Theorem 1); the
@@ -20,5 +20,12 @@ val of_cover :
     deliberately. *)
 
 val of_generalized :
-  ?language:fragment_language -> Dllite.Tbox.t -> Generalized.t -> Query.Fol.t
-(** The generalized cover-based reformulation (Theorem 3). *)
+  ?language:fragment_language ->
+  ?jobs:int ->
+  Dllite.Tbox.t ->
+  Generalized.t ->
+  Query.Fol.t
+(** The generalized cover-based reformulation (Theorem 3). [jobs]
+    bounds the per-fragment reformulation fan-out on the {!Parallel}
+    pool (default {!Parallel.default_jobs}; order-preserving, so the
+    result never depends on it). *)

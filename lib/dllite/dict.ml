@@ -1,30 +1,54 @@
+(* Domain-safe: [encode] may be called from parallel plan arms (the
+   [Project] operator interns head constants), racing with [find] in
+   sibling arms, so every access goes through the dictionary's mutex.
+   The critical sections are a hash lookup or an array slot write —
+   short enough that the uncontended fast path dominates. *)
 type t = {
+  lock : Mutex.t;
   codes : (string, int) Hashtbl.t;
   mutable names : string array;
   mutable next : int;
 }
 
-let create () = { codes = Hashtbl.create 1024; names = Array.make 1024 ""; next = 0 }
+let create () =
+  {
+    lock = Mutex.create ();
+    codes = Hashtbl.create 1024;
+    names = Array.make 1024 "";
+    next = 0;
+  }
+
+let with_lock d f =
+  Mutex.lock d.lock;
+  match f () with
+  | v ->
+    Mutex.unlock d.lock;
+    v
+  | exception e ->
+    Mutex.unlock d.lock;
+    raise e
 
 let encode d s =
-  match Hashtbl.find_opt d.codes s with
-  | Some c -> c
-  | None ->
-    let c = d.next in
-    if c >= Array.length d.names then begin
-      let grown = Array.make (2 * Array.length d.names) "" in
-      Array.blit d.names 0 grown 0 c;
-      d.names <- grown
-    end;
-    d.names.(c) <- s;
-    d.next <- c + 1;
-    Hashtbl.add d.codes s c;
-    c
+  with_lock d (fun () ->
+      match Hashtbl.find_opt d.codes s with
+      | Some c -> c
+      | None ->
+        let c = d.next in
+        if c >= Array.length d.names then begin
+          let grown = Array.make (2 * Array.length d.names) "" in
+          Array.blit d.names 0 grown 0 c;
+          d.names <- grown
+        end;
+        d.names.(c) <- s;
+        d.next <- c + 1;
+        Hashtbl.add d.codes s c;
+        c)
 
-let find d s = Hashtbl.find_opt d.codes s
+let find d s = with_lock d (fun () -> Hashtbl.find_opt d.codes s)
 
 let decode d c =
-  if c < 0 || c >= d.next then Fmt.invalid_arg "Dict.decode: unknown code %d" c
-  else d.names.(c)
+  with_lock d (fun () ->
+      if c < 0 || c >= d.next then Fmt.invalid_arg "Dict.decode: unknown code %d" c
+      else d.names.(c))
 
-let size d = d.next
+let size d = with_lock d (fun () -> d.next)

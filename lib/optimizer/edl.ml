@@ -9,20 +9,30 @@ type result = {
   search_time : float;
 }
 
-let search ?(max_covers = 20_000) ?(language = Reformulate.Ucq_fragments) tbox
-    estimator q =
+let search ?(max_covers = 20_000) ?(language = Reformulate.Ucq_fragments) ?jobs
+    tbox estimator q =
   let t0 = Unix.gettimeofday () in
   let covers = Generalized.enumerate ~max_count:max_covers tbox q in
   let examined = List.length covers in
+  (* Reformulating and cost-estimating a cover touches no search
+     state, so every candidate scores on the domain pool; the winner
+     is then picked by the same first-minimum fold as the sequential
+     search (ties keep the earliest cover), making the result
+     independent of the job count. *)
+  let scored =
+    Parallel.map ?jobs
+      (fun cover ->
+        let fol = Reformulate.of_generalized ~language tbox cover in
+        cover, fol, estimator.Estimator.estimate fol)
+      covers
+  in
   let best =
     List.fold_left
-      (fun best cover ->
-        let fol = Reformulate.of_generalized ~language tbox cover in
-        let cost = estimator.Estimator.estimate fol in
+      (fun best (cover, fol, cost) ->
         match best with
         | Some (_, _, c) when c <= cost -> best
         | _ -> Some (cover, fol, cost))
-      None covers
+      None scored
   in
   match best with
   | None -> invalid_arg "Edl.search: no cover (empty query?)"

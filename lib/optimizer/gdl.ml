@@ -30,20 +30,58 @@ let out_of_time st =
   | None -> false
   | Some d -> Unix.gettimeofday () > d
 
+(* Reformulate and estimate one cover: touches no search state, so a
+   batch of these can fan out on the domain pool. The elapsed time is
+   returned for the sequential merge to accumulate. *)
+let score st cover =
+  let t0 = Unix.gettimeofday () in
+  let fol = Reformulate.of_generalized ~language:st.language st.tbox cover in
+  let c = st.estimator.Estimator.estimate fol in
+  c, fol, Unix.gettimeofday () -. t0
+
+let record st cover (c, fol, elapsed) =
+  st.cost_seconds <- st.cost_seconds +. elapsed;
+  st.total_seen <- st.total_seen + 1;
+  if Generalized.is_simple cover then st.simple_seen <- st.simple_seen + 1;
+  Hashtbl.add st.cost_cache (cover_key cover) (c, fol)
+
 (* Estimated cost of a cover's reformulation, memoised per cover. *)
 let cover_cost st cover =
   let key = cover_key cover in
   match Hashtbl.find_opt st.cost_cache key with
   | Some (c, fol) -> c, fol
   | None ->
-    let t0 = Unix.gettimeofday () in
-    let fol = Reformulate.of_generalized ~language:st.language st.tbox cover in
-    let c = st.estimator.Estimator.estimate fol in
-    st.cost_seconds <- st.cost_seconds +. (Unix.gettimeofday () -. t0);
-    st.total_seen <- st.total_seen + 1;
-    if Generalized.is_simple cover then st.simple_seen <- st.simple_seen + 1;
-    Hashtbl.add st.cost_cache key (c, fol);
+    let (c, fol, _) as scored = score st cover in
+    record st cover scored;
     c, fol
+
+(* Cost-estimate one search step's candidates: the not-yet-memoised
+   covers (deduplicated, first occurrence wins) score in parallel,
+   then the cache and counters update sequentially in candidate
+   order — so exploration statistics match the sequential search
+   exactly. Arms observe the deadline on entry; a cover skipped for
+   time is simply absent from the cache, as it would be sequentially. *)
+let batch_costs ?jobs st candidates =
+  let seen = Hashtbl.create 32 in
+  let fresh =
+    List.filter
+      (fun cover ->
+        let key = cover_key cover in
+        if Hashtbl.mem st.cost_cache key || Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      candidates
+  in
+  let scored =
+    Parallel.map ?jobs
+      (fun cover -> if out_of_time st then None else Some (score st cover))
+      fresh
+  in
+  List.iter2
+    (fun cover -> function Some s -> record st cover s | None -> ())
+    fresh scored
 
 (* All covers reachable from [cover] in one move. With [space = `Lq]
    the enlarge move is disabled and the search stays within the simple
@@ -80,8 +118,8 @@ let candidate_moves ?(space = `Gq) cover =
   in
   unions @ enlargements
 
-let search ?time_budget ?(space = `Gq) ?(language = Reformulate.Ucq_fragments) tbox
-    estimator q =
+let search ?time_budget ?(space = `Gq) ?(language = Reformulate.Ucq_fragments) ?jobs
+    tbox estimator q =
   let t0 = Unix.gettimeofday () in
   let st =
     {
@@ -99,16 +137,18 @@ let search ?time_budget ?(space = `Gq) ?(language = Reformulate.Ucq_fragments) t
   let rec loop cover cost moves =
     if out_of_time st then cover, cost, moves, true
     else begin
+      let candidates = candidate_moves ~space cover in
+      batch_costs ?jobs st candidates;
       let best =
         List.fold_left
           (fun best candidate ->
-            if out_of_time st then best
-            else
-              let c, _ = cover_cost st candidate in
+            match Hashtbl.find_opt st.cost_cache (cover_key candidate) with
+            | None -> best (* the deadline cut this candidate's estimation *)
+            | Some (c, _) -> (
               match best with
               | Some (_, bc) when bc <= c -> best
-              | _ -> Some (candidate, c))
-          None (candidate_moves ~space cover)
+              | _ -> Some (candidate, c)))
+          None candidates
       in
       (* Accept the best move when it does not degrade the estimated
          cost; both move kinds strictly shrink the fragment count or

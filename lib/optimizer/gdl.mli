@@ -26,6 +26,7 @@ val search :
   ?time_budget:float ->
   ?space:[ `Gq | `Lq ] ->
   ?language:Covers.Reformulate.fragment_language ->
+  ?jobs:int ->
   Dllite.Tbox.t ->
   Estimator.t ->
   Query.Cq.t ->
@@ -34,4 +35,8 @@ val search :
     reformulation. [time_budget] (seconds) bounds the search as in the
     time-limited GDL experiment (e.g. [0.02] for 20 ms); [space = `Lq]
     disables the enlarge move, restricting the search to simple safe
-    covers (the generalized-cover ablation). *)
+    covers (the generalized-cover ablation). Each step's candidate
+    moves cost-estimate in parallel on the {!Parallel} pool ([jobs],
+    default {!Parallel.default_jobs}); without a time budget the
+    chosen cover and the exploration counts are independent of the job
+    count. *)

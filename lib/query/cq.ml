@@ -85,11 +85,12 @@ let substitute s q =
     body = dedup_atoms (List.map (Atom.substitute s) q.body);
   }
 
-let fresh_counter = ref 0
+(* Atomic: fresh variables are drawn concurrently when reformulation
+   fans out across domains. *)
+let fresh_counter = Atomic.make 0
 
 let fresh_var () =
-  incr fresh_counter;
-  Term.Var (Printf.sprintf "_e%d" !fresh_counter)
+  Term.Var (Printf.sprintf "_e%d" (Atomic.fetch_and_add fresh_counter 1 + 1))
 
 let rename_apart ~avoid q =
   let clashes = Term.Set.inter (existential_vars q) avoid in

@@ -9,27 +9,55 @@ let postgres_like = { scan_cache = false; build_cache = false }
 
 let db2_like = { scan_cache = true; build_cache = true }
 
+(* Counters are atomic: the arms of a [Union] node evaluate on
+   separate domains and bump them concurrently. Every scan/build
+   request increments exactly one of (performed, hit), so
+   performed + hit always equals the number of requests — which a
+   racing cache miss may raise above the sequential count (two arms
+   can both miss on the same signature), but never desynchronise. *)
 type counters = {
-  mutable scans : int;
-  mutable scan_hits : int;
-  mutable builds : int;
-  mutable build_hits : int;
+  scans : int Atomic.t;
+  scan_hits : int Atomic.t;
+  builds : int Atomic.t;
+  build_hits : int Atomic.t;
 }
 
-let fresh_counters () = { scans = 0; scan_hits = 0; builds = 0; build_hits = 0 }
+let fresh_counters () =
+  {
+    scans = Atomic.make 0;
+    scan_hits = Atomic.make 0;
+    builds = Atomic.make 0;
+    build_hits = Atomic.make 0;
+  }
 
 type view_store = (string, Relation.t) Hashtbl.t
 
 let fresh_view_store () : view_store = Hashtbl.create 64
 
+(* The view store is shared across queries (and so across any two
+   concurrently evaluating plans); one module-level mutex guards it. *)
+let views_lock = Mutex.create ()
+
 type ctx = {
   layout : Layout.t;
   config : config;
   counters : counters;
+  lock : Mutex.t;  (* guards [scans] and [builds] below *)
   scans : (string, Relation.t) Hashtbl.t;  (* canonical scan results *)
   builds : (string, Relation.build_table) Hashtbl.t;
   views : view_store option;  (* cross-query materialised fragments *)
+  jobs : int;  (* parallelism for union arms; 1 = sequential *)
 }
+
+let locked lock f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+    Mutex.unlock lock;
+    v
+  | exception e ->
+    Mutex.unlock lock;
+    raise e
 
 (* A scan signature independent of variable names, so that R(x,y) in
    one union arm and R(u,v) in another share the same cached result. *)
@@ -70,19 +98,21 @@ let scan_canonical ctx atom =
     match code k with
     | None -> Relation.empty ~cols:[ "$0" ]
     | Some c ->
+      let pairs = Layout.role_lookup_object_arr layout p c in
       Relation.make ~cols:[ "$0" ]
-        ~rows:(List.map (fun (s, _) -> [| s |]) (Layout.role_lookup_object layout p c)))
+        ~rows:(Array.to_list (Array.map (fun (s, _) -> [| s |]) pairs)))
   | Atom.Ra (p, Term.Cst k, Term.Var _) -> (
     match code k with
     | None -> Relation.empty ~cols:[ "$0" ]
     | Some c ->
+      let pairs = Layout.role_lookup_subject_arr layout p c in
       Relation.make ~cols:[ "$0" ]
-        ~rows:(List.map (fun (_, o) -> [| o |]) (Layout.role_lookup_subject layout p c)))
+        ~rows:(Array.to_list (Array.map (fun (_, o) -> [| o |]) pairs)))
   | Atom.Ra (p, Term.Cst k1, Term.Cst k2) -> (
     match code k1, code k2 with
     | Some c1, Some c2 ->
       Relation.boolean
-        (List.exists (fun (_, o) -> o = c2) (Layout.role_lookup_subject layout p c1))
+        (Array.exists (fun (_, o) -> o = c2) (Layout.role_lookup_subject_arr layout p c1))
     | _ -> Relation.boolean false)
 
 (* The caches model DB2's buffer-locality support for repeated scans
@@ -97,21 +127,25 @@ let cacheable ctx atom =
   | Layout.Simple _ -> true
   | Layout.Rdf _ -> not (Query.Atom.is_role atom)
 
+(* Cache protocol under parallelism: the table lookup and insert hold
+   the ctx mutex, the scan itself does not — two arms missing on the
+   same signature recompute the same canonical relation and the last
+   writer wins (idempotent). Each request bumps exactly one counter. *)
 let scan_cached ctx atom =
   let signature = scan_signature atom in
+  let use_cache = ctx.config.scan_cache && cacheable ctx atom in
   match
-    if ctx.config.scan_cache && cacheable ctx atom then
-      Hashtbl.find_opt ctx.scans signature
+    if use_cache then locked ctx.lock (fun () -> Hashtbl.find_opt ctx.scans signature)
     else None
   with
   | Some r ->
-    ctx.counters.scan_hits <- ctx.counters.scan_hits + 1;
+    Atomic.incr ctx.counters.scan_hits;
     r
   | None ->
-    ctx.counters.scans <- ctx.counters.scans + 1;
+    Atomic.incr ctx.counters.scans;
     let r = scan_canonical ctx atom in
-    if ctx.config.scan_cache && cacheable ctx atom then
-      Hashtbl.replace ctx.scans signature r;
+    if use_cache then
+      locked ctx.lock (fun () -> Hashtbl.replace ctx.scans signature r);
     r
 
 let scan ctx atom =
@@ -146,19 +180,21 @@ let eval_join_cached ctx left_rel atom on =
   let key =
     scan_signature atom ^ ":on:" ^ String.concat "," (List.map string_of_int positions)
   in
+  let use_cache = cacheable ctx atom in
   let build =
     match
-      if cacheable ctx atom then Hashtbl.find_opt ctx.builds key else None
+      if use_cache then locked ctx.lock (fun () -> Hashtbl.find_opt ctx.builds key)
+      else None
     with
     | Some b ->
-      ctx.counters.build_hits <- ctx.counters.build_hits + 1;
+      Atomic.incr ctx.counters.build_hits;
       b
     | None ->
-      ctx.counters.builds <- ctx.counters.builds + 1;
+      Atomic.incr ctx.counters.builds;
       let canonical = scan_cached ctx atom in
       let canonical_on = List.map (fun p -> "$" ^ string_of_int p) positions in
       let b = Relation.build canonical ~on:canonical_on in
-      if cacheable ctx atom then Hashtbl.replace ctx.builds key b;
+      if use_cache then locked ctx.lock (fun () -> Hashtbl.replace ctx.builds key b);
       b
   in
   rename_payload actual_cols (Relation.probe ~left:left_rel ~right_build:build ~on)
@@ -175,12 +211,15 @@ let eval_index_join ctx left_rel atom probe_col =
     | Query.Atom.Ra (p, other, Query.Term.Var v) when v = probe_col -> p, `Object, other
     | _ -> Fmt.invalid_arg "Index_join: %s does not bind %a" probe_col Query.Atom.pp atom
   in
-  ctx.counters.scans <- ctx.counters.scans + 1;
+  Atomic.incr ctx.counters.scans;
   let probe_idx = Relation.col_index left_rel probe_col in
-  let lookup v =
+  let pairs v =
     match probe_side with
-    | `Subject -> List.map snd (Layout.role_lookup_subject layout p v)
-    | `Object -> List.map fst (Layout.role_lookup_object layout p v)
+    | `Subject -> Layout.role_lookup_subject_arr layout p v
+    | `Object -> Layout.role_lookup_object_arr layout p v
+  in
+  let other_of =
+    match probe_side with `Subject -> snd | `Object -> fst
   in
   match other_term with
   | Query.Term.Cst k ->
@@ -190,7 +229,7 @@ let eval_index_join ctx left_rel atom probe_col =
         (fun row ->
           match code with
           | None -> false
-          | Some c -> List.mem c (lookup row.(probe_idx)))
+          | Some c -> Array.exists (fun pr -> other_of pr = c) (pairs row.(probe_idx)))
         left_rel.Relation.rows
     in
     { left_rel with Relation.rows = rows }
@@ -198,7 +237,8 @@ let eval_index_join ctx left_rel atom probe_col =
     (* self loop R(x,x) *)
     let rows =
       List.filter
-        (fun row -> List.mem row.(probe_idx) (lookup row.(probe_idx)))
+        (fun row ->
+          Array.exists (fun pr -> other_of pr = row.(probe_idx)) (pairs row.(probe_idx)))
         left_rel.Relation.rows
     in
     { left_rel with Relation.rows = rows }
@@ -206,7 +246,8 @@ let eval_index_join ctx left_rel atom probe_col =
     let w_idx = Relation.col_index left_rel w in
     let rows =
       List.filter
-        (fun row -> List.mem row.(w_idx) (lookup row.(probe_idx)))
+        (fun row ->
+          Array.exists (fun pr -> other_of pr = row.(w_idx)) (pairs row.(probe_idx)))
         left_rel.Relation.rows
     in
     { left_rel with Relation.rows = rows }
@@ -215,7 +256,9 @@ let eval_index_join ctx left_rel atom probe_col =
     let rows =
       List.concat_map
         (fun row ->
-          List.map (fun v -> Array.append row [| v |]) (lookup row.(probe_idx)))
+          Array.to_list
+            (Array.map (fun pr -> Array.append row [| other_of pr |])
+               (pairs row.(probe_idx))))
         left_rel.Relation.rows
     in
     { Relation.cols; rows }
@@ -228,7 +271,7 @@ let rec eval ctx plan =
     match right with
     | Plan.Scan atom when ctx.config.build_cache -> eval_join_cached ctx l atom on
     | _ ->
-      ctx.counters.builds <- ctx.counters.builds + 1;
+      Atomic.incr ctx.counters.builds;
       let r = eval ctx right in
       Relation.hash_join l r ~on)
   | Plan.Merge_join { left; right; on } ->
@@ -249,35 +292,49 @@ let rec eval ctx plan =
     Relation.project r out'
   | Plan.Distinct p -> Relation.distinct (eval ctx p)
   | Plan.Union { cols; inputs } ->
-    Relation.union_all ~cols (List.map (eval ctx) inputs)
+    (* The embarrassingly parallel hot path: a reformulated UCQ is one
+       [Union] whose arms are independent. Arms evaluate on the domain
+       pool and merge positionally in input order, so the result is
+       identical to the sequential fold at any job count. *)
+    Relation.union_all ~cols (Parallel.map ~jobs:ctx.jobs (eval ctx) inputs)
   | Plan.Materialize p -> (
     match ctx.views with
     | None -> eval ctx p
     | Some store -> (
       let key = Fmt.str "%a" Plan.pp p in
-      match Hashtbl.find_opt store key with
+      match locked views_lock (fun () -> Hashtbl.find_opt store key) with
       | Some rel -> rel
       | None ->
         let rel = eval ctx p in
-        Hashtbl.replace store key rel;
-        rel))
+        locked views_lock (fun () ->
+            (* keep the first stored copy if a sibling arm won the race *)
+            match Hashtbl.find_opt store key with
+            | Some existing -> existing
+            | None ->
+              Hashtbl.replace store key rel;
+              rel)))
 
-let run ?(config = postgres_like) ?counters ?views layout plan =
+let run ?(config = postgres_like) ?counters ?views ?jobs layout plan =
   let counters = Option.value ~default:(fresh_counters ()) counters in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
+  in
   let ctx =
     {
       layout;
       config;
       counters;
+      lock = Mutex.create ();
       scans = Hashtbl.create 64;
       builds = Hashtbl.create 64;
       views;
+      jobs;
     }
   in
   eval ctx plan
 
-let answers ?config ?views layout plan =
-  let rel = Relation.distinct (run ?config ?views layout plan) in
+let answers ?config ?views ?jobs layout plan =
+  let rel = Relation.distinct (run ?config ?views ?jobs layout plan) in
   let dict = Layout.dict layout in
   List.sort_uniq compare
     (List.map

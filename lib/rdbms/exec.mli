@@ -3,7 +3,14 @@
     DB2's buffer-locality optimisations for repeated scans ([21]) are
     modelled by caching scan results and join build tables across the
     arms of one query, which benefits exactly the large reformulated
-    unions that re-read the same tables hundreds of times. *)
+    unions that re-read the same tables hundreds of times.
+
+    The arms of a [Union] plan node evaluate in parallel on the
+    {!Parallel} domain pool ([?jobs], defaulting to
+    {!Parallel.default_jobs}); arm results merge positionally in input
+    order, so answers are identical at any job count, and [jobs = 1]
+    never touches the pool. The scan/build caches are shared across
+    arms under a mutex; the counters are atomic. *)
 
 type config = {
   scan_cache : bool;  (** share identical atom scans within one query *)
@@ -18,11 +25,16 @@ val db2_like : config
 (** Scan and build sharing. *)
 
 type counters = {
-  mutable scans : int;  (** scans actually performed *)
-  mutable scan_hits : int;  (** scans served from cache *)
-  mutable builds : int;
-  mutable build_hits : int;
+  scans : int Atomic.t;  (** scans actually performed *)
+  scan_hits : int Atomic.t;  (** scans served from cache *)
+  builds : int Atomic.t;
+  build_hits : int Atomic.t;
 }
+(** Atomic so parallel union arms can bump them concurrently. Each
+    scan (resp. build) request increments exactly one of the pair, so
+    [scans + scan_hits] equals the number of requests at any job
+    count; under parallelism two arms may both miss on a signature,
+    shifting a hit into a performed scan, but the total is stable. *)
 
 type view_store = (string, Relation.t) Hashtbl.t
 (** Materialised fragment views (the paper's §7 future-work extension):
@@ -37,12 +49,18 @@ val run :
   ?config:config ->
   ?counters:counters ->
   ?views:view_store ->
+  ?jobs:int ->
   Layout.t ->
   Plan.t ->
   Relation.t
 
 val answers :
-  ?config:config -> ?views:view_store -> Layout.t -> Plan.t -> string list list
+  ?config:config ->
+  ?views:view_store ->
+  ?jobs:int ->
+  Layout.t ->
+  Plan.t ->
+  string list list
 (** Runs the plan and decodes the rows through the dictionary; sorted,
     duplicate-free. *)
 

@@ -28,6 +28,16 @@ let role_lookup_object t n v =
   | Simple s -> Storage.role_lookup_object s n v
   | Rdf r -> Rdf_layout.role_lookup_object r n v
 
+let role_lookup_subject_arr t n v =
+  match t with
+  | Simple s -> Storage.role_lookup_subject_arr s n v
+  | Rdf r -> Rdf_layout.role_lookup_subject_arr r n v
+
+let role_lookup_object_arr t n v =
+  match t with
+  | Simple s -> Storage.role_lookup_object_arr s n v
+  | Rdf r -> Rdf_layout.role_lookup_object_arr r n v
+
 let concept_mem t n v =
   match t with
   | Simple s -> Storage.concept_mem s n v

@@ -23,6 +23,13 @@ val role_lookup_subject : t -> string -> int -> (int * int) list
 
 val role_lookup_object : t -> string -> int -> (int * int) list
 
+val role_lookup_subject_arr : t -> string -> int -> (int * int) array
+(** Array variants of the index probes, used by the scan operators to
+    avoid the list-to-row-array churn. On the simple layout the
+    returned array aliases the index and must not be mutated. *)
+
+val role_lookup_object_arr : t -> string -> int -> (int * int) array
+
 val concept_mem : t -> string -> int -> bool
 
 val concept_card : t -> string -> int

@@ -222,6 +222,13 @@ let role_lookup_object t name obj =
     probe_rows t t.rph rows code (fun o s -> out := (s, o) :: !out);
     !out
 
+(* Array variants: the wide-table probe materialises a fresh result
+   either way, so these just avoid the final list representation. *)
+let role_lookup_subject_arr t name subj =
+  Array.of_list (role_lookup_subject t name subj)
+
+let role_lookup_object_arr t name obj = Array.of_list (role_lookup_object t name obj)
+
 let concept_names t =
   List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.concept_codes [])
 

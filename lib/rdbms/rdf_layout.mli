@@ -41,6 +41,12 @@ val role_lookup_subject : t -> string -> int -> (int * int) list
 (** Primary-key access: only the DPH rows of the subject are probed. *)
 
 val role_lookup_object : t -> string -> int -> (int * int) list
+
+val role_lookup_subject_arr : t -> string -> int -> (int * int) array
+(** Array variants of the index probes (fresh arrays; callers may keep
+    them). *)
+
+val role_lookup_object_arr : t -> string -> int -> (int * int) array
 (** Primary-key access on the RPH table. *)
 
 val concept_names : t -> string list

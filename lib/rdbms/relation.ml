@@ -59,12 +59,23 @@ let distinct r =
   in
   { r with rows }
 
+(* The inputs are merged positionally, so arity compatibility is the
+   load-bearing invariant — especially for the parallel union path,
+   where a miscompiled arm would otherwise corrupt rows silently. The
+   error names every offending input's columns. *)
 let union_all ~cols rels =
   let a = List.length cols in
-  List.iter
-    (fun r ->
-      if arity r <> a then invalid_arg "Relation.union_all: arity mismatch")
-    rels;
+  let offending =
+    List.filter (fun r -> arity r <> a) rels
+    |> List.map (fun r ->
+           Printf.sprintf "[%s]" (String.concat "," (Array.to_list r.cols)))
+  in
+  if offending <> [] then
+    invalid_arg
+      (Printf.sprintf
+         "Relation.union_all: arity mismatch: expected %d columns [%s], got %s" a
+         (String.concat "," cols)
+         (String.concat " and " offending));
   { cols = Array.of_list cols; rows = List.concat_map (fun r -> r.rows) rels }
 
 let filter_const r name v =

@@ -3,18 +3,24 @@ type table_stats = {
   ndv : int array;
 }
 
+(* Lazily built indexes are published through [Atomic.t] so parallel
+   plan arms can race on first use: both racers build the same index
+   from the immutable pairs array, a compare-and-set picks the winner,
+   and the atomic write orders the index contents before the pointer
+   every reader dereferences. In-place maintenance ([insert_*]) is not
+   concurrent with query evaluation by contract. *)
 type concept_table = {
   mutable members : int array;  (* sorted, deduplicated *)
-  mutable member_set : (int, unit) Hashtbl.t option;  (* lazy index *)
+  member_set : (int, unit) Hashtbl.t option Atomic.t;  (* lazy index *)
 }
 
 type role_table = {
   mutable pairs : (int * int) array;  (* deduplicated *)
   mutable r_stats : table_stats;
-  mutable by_subject : (int, (int * int) list) Hashtbl.t option;
-  mutable by_object : (int, (int * int) list) Hashtbl.t option;
-  mutable hist_subject : Histogram.t option;  (* lazy column histograms *)
-  mutable hist_object : Histogram.t option;
+  by_subject : (int, (int * int) array) Hashtbl.t option Atomic.t;
+  by_object : (int, (int * int) array) Hashtbl.t option Atomic.t;
+  hist_subject : Histogram.t option Atomic.t;  (* lazy column histograms *)
+  hist_object : Histogram.t option Atomic.t;
 }
 
 type t = {
@@ -37,6 +43,16 @@ let count_distinct extract pairs =
   Array.iter (fun p -> Hashtbl.replace seen (extract p) ()) pairs;
   Hashtbl.length seen
 
+let fresh_role_table pairs r_stats =
+  {
+    pairs;
+    r_stats;
+    by_subject = Atomic.make None;
+    by_object = Atomic.make None;
+    hist_subject = Atomic.make None;
+    hist_object = Atomic.make None;
+  }
+
 let of_abox abox =
   let concepts = Hashtbl.create 64 and roles = Hashtbl.create 64 in
   let total = ref 0 in
@@ -44,7 +60,7 @@ let of_abox abox =
     (fun name ->
       let members = dedup_int_array (Dllite.Abox.concept_members abox name) in
       total := !total + Array.length members;
-      Hashtbl.replace concepts name { members; member_set = None })
+      Hashtbl.replace concepts name { members; member_set = Atomic.make None })
     (Dllite.Abox.concept_names abox);
   List.iter
     (fun name ->
@@ -56,9 +72,7 @@ let of_abox abox =
           ndv = [| count_distinct fst pairs; count_distinct snd pairs |];
         }
       in
-      Hashtbl.replace roles name
-        { pairs; r_stats; by_subject = None; by_object = None;
-          hist_subject = None; hist_object = None })
+      Hashtbl.replace roles name (fresh_role_table pairs r_stats))
     (Dllite.Abox.role_names abox);
   { dict = Dllite.Abox.dict abox; concepts; roles; total_facts = !total }
 
@@ -87,6 +101,9 @@ let role_stats t name =
   | Some rt -> rt.r_stats
   | None -> { card = 0; ndv = [| 0; 0 |] }
 
+(* Group the pairs by [extract], keeping each per-key group in the
+   order a reverse cons-accumulation produces (the historical index
+   order, which downstream row order depends on). *)
 let group_by extract pairs =
   let h = Hashtbl.create (max 16 (Array.length pairs)) in
   Array.iter
@@ -95,48 +112,50 @@ let group_by extract pairs =
       let cur = Option.value ~default:[] (Hashtbl.find_opt h k) in
       Hashtbl.replace h k (p :: cur))
     pairs;
-  h
+  let out = Hashtbl.create (max 16 (Hashtbl.length h)) in
+  Hashtbl.iter (fun k l -> Hashtbl.replace out k (Array.of_list l)) h;
+  out
+
+(* First reader builds and publishes; concurrent racers build the same
+   value and the compare-and-set loser adopts the winner's copy. *)
+let force_index cell build =
+  match Atomic.get cell with
+  | Some v -> v
+  | None ->
+    let v = build () in
+    if Atomic.compare_and_set cell None (Some v) then v
+    else Option.get (Atomic.get cell)
+
+let empty_pairs : (int * int) array = [||]
+
+let role_lookup_subject_arr t name subj =
+  match Hashtbl.find_opt t.roles name with
+  | None -> empty_pairs
+  | Some rt ->
+    let idx = force_index rt.by_subject (fun () -> group_by fst rt.pairs) in
+    Option.value ~default:empty_pairs (Hashtbl.find_opt idx subj)
+
+let role_lookup_object_arr t name obj =
+  match Hashtbl.find_opt t.roles name with
+  | None -> empty_pairs
+  | Some rt ->
+    let idx = force_index rt.by_object (fun () -> group_by snd rt.pairs) in
+    Option.value ~default:empty_pairs (Hashtbl.find_opt idx obj)
 
 let role_lookup_subject t name subj =
-  match Hashtbl.find_opt t.roles name with
-  | None -> []
-  | Some rt ->
-    let idx =
-      match rt.by_subject with
-      | Some h -> h
-      | None ->
-        let h = group_by fst rt.pairs in
-        rt.by_subject <- Some h;
-        h
-    in
-    Option.value ~default:[] (Hashtbl.find_opt idx subj)
+  Array.to_list (role_lookup_subject_arr t name subj)
 
-let role_lookup_object t name obj =
-  match Hashtbl.find_opt t.roles name with
-  | None -> []
-  | Some rt ->
-    let idx =
-      match rt.by_object with
-      | Some h -> h
-      | None ->
-        let h = group_by snd rt.pairs in
-        rt.by_object <- Some h;
-        h
-    in
-    Option.value ~default:[] (Hashtbl.find_opt idx obj)
+let role_lookup_object t name obj = Array.to_list (role_lookup_object_arr t name obj)
 
 let concept_mem t name ind =
   match Hashtbl.find_opt t.concepts name with
   | None -> false
   | Some ct ->
     let idx =
-      match ct.member_set with
-      | Some h -> h
-      | None ->
-        let h = Hashtbl.create (max 16 (Array.length ct.members)) in
-        Array.iter (fun m -> Hashtbl.replace h m ()) ct.members;
-        ct.member_set <- Some h;
-        h
+      force_index ct.member_set (fun () ->
+          let h = Hashtbl.create (max 16 (Array.length ct.members)) in
+          Array.iter (fun m -> Hashtbl.replace h m ()) ct.members;
+          h)
     in
     Hashtbl.mem idx ind
 
@@ -152,14 +171,16 @@ let insert_concept t ~concept ~ind =
     match Hashtbl.find_opt t.concepts concept with
     | Some ct -> ct
     | None ->
-      let ct = { members = [||]; member_set = None } in
+      let ct = { members = [||]; member_set = Atomic.make None } in
       Hashtbl.add t.concepts concept ct;
       ct
   in
   if Array.exists (fun m -> m = code) ct.members then false
   else begin
     ct.members <- dedup_int_array (Array.append ct.members [| code |]);
-    (match ct.member_set with Some h -> Hashtbl.replace h code () | None -> ());
+    (match Atomic.get ct.member_set with
+    | Some h -> Hashtbl.replace h code ()
+    | None -> ());
     t.total_facts <- t.total_facts + 1;
     true
   end
@@ -171,16 +192,7 @@ let insert_role t ~role ~subj ~obj =
     match Hashtbl.find_opt t.roles role with
     | Some rt -> rt
     | None ->
-      let rt =
-        {
-          pairs = [||];
-          r_stats = { card = 0; ndv = [| 0; 0 |] };
-          by_subject = None;
-          by_object = None;
-          hist_subject = None;
-          hist_object = None;
-        }
-      in
+      let rt = fresh_role_table [||] { card = 0; ndv = [| 0; 0 |] } in
       Hashtbl.add t.roles role rt;
       rt
   in
@@ -192,17 +204,18 @@ let insert_role t ~role ~subj ~obj =
         card = Array.length rt.pairs;
         ndv = [| count_distinct fst rt.pairs; count_distinct snd rt.pairs |];
       };
-    (match rt.by_subject with
-    | Some h ->
-      Hashtbl.replace h s ((s, o) :: Option.value ~default:[] (Hashtbl.find_opt h s))
-    | None -> ());
-    (match rt.by_object with
-    | Some h ->
-      Hashtbl.replace h o ((s, o) :: Option.value ~default:[] (Hashtbl.find_opt h o))
-    | None -> ());
+    let extend cell key =
+      match Atomic.get cell with
+      | Some h ->
+        let cur = Option.value ~default:empty_pairs (Hashtbl.find_opt h key) in
+        Hashtbl.replace h key (Array.append [| (s, o) |] cur)
+      | None -> ()
+    in
+    extend rt.by_subject s;
+    extend rt.by_object o;
     (* histograms are summaries; rebuild lazily after updates *)
-    rt.hist_subject <- None;
-    rt.hist_object <- None;
+    Atomic.set rt.hist_subject None;
+    Atomic.set rt.hist_object None;
     t.total_facts <- t.total_facts + 1;
     true
   end
@@ -210,17 +223,10 @@ let insert_role t ~role ~subj ~obj =
 let role_histogram t name side =
   match Hashtbl.find_opt t.roles name with
   | None -> None
-  | Some rt -> (
-    let cached, col =
+  | Some rt ->
+    let cell, col =
       match side with
       | `Subject -> rt.hist_subject, fst
       | `Object -> rt.hist_object, snd
     in
-    match cached with
-    | Some h -> Some h
-    | None ->
-      let h = Histogram.build (Array.map col rt.pairs) in
-      (match side with
-      | `Subject -> rt.hist_subject <- Some h
-      | `Object -> rt.hist_object <- Some h);
-      Some h)
+    Some (force_index cell (fun () -> Histogram.build (Array.map col rt.pairs)))

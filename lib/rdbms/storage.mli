@@ -29,9 +29,16 @@ val role_stats : t -> string -> table_stats
 
 val role_lookup_subject : t -> string -> int -> (int * int) list
 (** Index access: pairs of the role with the given subject. The index
-    is built lazily on first use. *)
+    is built lazily on first use (safe to race from parallel plan
+    arms). *)
 
 val role_lookup_object : t -> string -> int -> (int * int) list
+
+val role_lookup_subject_arr : t -> string -> int -> (int * int) array
+(** Like {!role_lookup_subject} but returns the index's own array —
+    no per-lookup list allocation. Callers must not mutate it. *)
+
+val role_lookup_object_arr : t -> string -> int -> (int * int) array
 
 val concept_mem : t -> string -> int -> bool
 (** Index access: membership of an individual in a concept. *)

@@ -96,8 +96,25 @@ let reformulate_raw tbox q =
 let reformulate tbox q = Ucq.minimize (reformulate_raw tbox q)
 
 (* Per-TBox memoisation, keyed on the physical identity of the TBox
-   (a handful per process) and the canonical rendering of the query. *)
+   (a handful per process) and the canonical rendering of the query.
+   The cache list and tables are shared across domains (fragment
+   reformulation fans out during cover search), so every access holds
+   [caches_lock]; the reformulation itself runs outside the lock, and
+   two domains missing on the same key simply compute the same UCQ
+   twice, with the first writer winning. *)
 let caches : (Dllite.Tbox.t * (string, Ucq.t) Hashtbl.t) list ref = ref []
+
+let caches_lock = Mutex.create ()
+
+let with_caches f =
+  Mutex.lock caches_lock;
+  match f () with
+  | v ->
+    Mutex.unlock caches_lock;
+    v
+  | exception e ->
+    Mutex.unlock caches_lock;
+    raise e
 
 let cache_for tbox =
   match List.find_opt (fun (t, _) -> t == tbox) !caches with
@@ -110,11 +127,14 @@ let cache_for tbox =
     h
 
 let reformulate_cached tbox q =
-  let h = cache_for tbox in
   let key = Cq.to_string q in
-  match Hashtbl.find_opt h key with
+  let h, hit = with_caches (fun () ->
+      let h = cache_for tbox in
+      h, Hashtbl.find_opt h key)
+  in
+  match hit with
   | Some u -> u
   | None ->
     let u = reformulate tbox q in
-    Hashtbl.add h key u;
+    with_caches (fun () -> if not (Hashtbl.mem h key) then Hashtbl.add h key u);
     u

@@ -12,4 +12,5 @@ let () =
       "sql", Test_sql.suite;
       "syntax", Test_syntax.suite;
       "rdf", Test_rdf.suite;
+      "parallel", Test_parallel.suite;
     ]

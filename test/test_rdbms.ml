@@ -54,6 +54,19 @@ let test_relation_union_filter () =
   check_int "filter const" 1 (Relation.cardinality (Relation.filter_const r "y" 2));
   check_int "filter eq cols" 1 (Relation.cardinality (Relation.filter_eq_cols r "x" "y"))
 
+let test_union_all_arity_mismatch () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let r1 = rel [ "x" ] [ [ 1 ] ] and bad = rel [ "a"; "b" ] [ [ 1; 2 ] ] in
+  match Relation.union_all ~cols:[ "x" ] [ r1; bad ] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    check_bool "names offending columns" true (contains msg "[a,b]");
+    check_bool "names expected columns" true (contains msg "[x]")
+
 let test_merge_join_equals_hash_join () =
   let rng = Random.State.make [| 4242 |] in
   for _ = 1 to 50 do
@@ -351,12 +364,13 @@ let test_exec_cache_counters () =
   let fol = Query.Fol.leaf ~out:example3_query.Cq.head ucq in
   let plan = Planner.of_fol layout fol in
   let pg = Exec.fresh_counters () in
-  ignore (Exec.run ~config:Exec.postgres_like ~counters:pg layout plan);
+  ignore (Exec.run ~config:Exec.postgres_like ~counters:pg ~jobs:1 layout plan);
   let db2 = Exec.fresh_counters () in
-  ignore (Exec.run ~config:Exec.db2_like ~counters:db2 layout plan);
-  check_int "postgres-like never reuses scans" 0 pg.Exec.scan_hits;
-  check_bool "db2-like reuses scans" true (db2.Exec.scan_hits > 0);
-  check_bool "db2-like performs fewer scans" true (db2.Exec.scans < pg.Exec.scans)
+  ignore (Exec.run ~config:Exec.db2_like ~counters:db2 ~jobs:1 layout plan);
+  check_int "postgres-like never reuses scans" 0 (Atomic.get pg.Exec.scan_hits);
+  check_bool "db2-like reuses scans" true (Atomic.get db2.Exec.scan_hits > 0);
+  check_bool "db2-like performs fewer scans" true
+    (Atomic.get db2.Exec.scans < Atomic.get pg.Exec.scans)
 
 (* {1 Cost estimation} *)
 
@@ -453,6 +467,7 @@ let suite =
     Alcotest.test_case "relation cross product" `Quick test_relation_cross_product;
     Alcotest.test_case "relation boolean" `Quick test_relation_boolean;
     Alcotest.test_case "relation union/filter" `Quick test_relation_union_filter;
+    Alcotest.test_case "union_all arity mismatch" `Quick test_union_all_arity_mismatch;
     Alcotest.test_case "merge join vs hash join" `Quick test_merge_join_equals_hash_join;
     Alcotest.test_case "merge join two columns" `Quick test_merge_join_two_columns;
     Alcotest.test_case "index join in plans" `Quick test_index_join_plan_used;
