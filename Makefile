@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test bench-smoke bench ci clean
+.PHONY: all build test doc bench-smoke bench ci clean
 
 all: build
 
@@ -9,6 +9,11 @@ build:
 
 test:
 	$(DUNE) runtest
+
+# API documentation from the odoc comments on every public .mli.
+# (If odoc is not installed, `dune build @doc` is a no-op.)
+doc:
+	$(DUNE) build @doc
 
 # A quick parallel-evaluation smoke run: Figure 2 on a 5k-fact dataset
 # at jobs=2, recording per-cell timings (and the jobs=1 baselines) to
@@ -21,7 +26,7 @@ bench-smoke: build
 bench: build
 	$(DUNE) exec bench/main.exe
 
-ci: test bench-smoke
+ci: test doc bench-smoke
 
 clean:
 	$(DUNE) clean

@@ -10,15 +10,17 @@
      E7 gdl-time     §6.4      — GDL running time / time-limited GDL
      E8 anatomy      §2.3      — reformulation & SQL statement sizes
      E9 ablation-gq  §6.3      — generalized covers on/off
+     E13 calibration §6.3      — cardinality q-errors via EXPLAIN ANALYZE
 
    Usage: main.exe [--exp ID]… [--small N] [--large N] [--seed S]
-                   [--jobs N] [--json FILE] [--bechamel]
+                   [--jobs N] [--json FILE] [--metrics FILE] [--bechamel]
    With no --exp, every experiment runs. --jobs N evaluates with N
    domains (default 1 = the sequential engine; 0 = all cores) and the
    figure experiments then additionally evaluate at jobs=1 to report
    the parallel speedup. --json FILE dumps per-experiment and per-cell
-   timings. --bechamel additionally runs one Bechamel micro-benchmark
-   group per figure. *)
+   timings. --metrics FILE dumps the process-wide Obs metrics registry
+   as JSON after the run. --bechamel additionally runs one Bechamel
+   micro-benchmark group per figure. *)
 
 let small_facts = ref 30_000
 
@@ -33,6 +35,18 @@ let with_bechamel = ref false
 let jobs = ref 1
 
 let json_file : string option ref = ref None
+
+let metrics_file : string option ref = ref None
+
+let write_metrics () =
+  match !metrics_file with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (Obs.Metrics.to_json ());
+    output_char oc '\n';
+    close_out oc;
+    Fmt.pr "[metrics] wrote the metrics registry to %s@." file
 
 let tbox = Lubm.Ontology.tbox
 
@@ -470,6 +484,50 @@ let exp_saturation () =
         (List.length sat_answers = List.length certain))
     Lubm.Workload.queries
 
+(* {1 E13 — cost-model calibration: cardinality q-errors} *)
+
+let exp_calibration () =
+  Fmt.pr "@.== E13 (§6.3): cost-model calibration — cardinality q-errors ==@.";
+  Fmt.pr "   (q-error = max(est/act, act/est) per operator, via EXPLAIN ANALYZE;@.";
+  Fmt.pr "    the quality of ε(\"ext\") vs ε(explain) in §6.3 rests on these)@.@.";
+  let engine = engine_for `Pglite `Simple !small_facts in
+  let profile = Obda.profile engine and layout = Obda.layout engine in
+  Fmt.pr "%-4s %12s %12s %12s %12s %12s %10s@." "qry" "est rows" "act rows"
+    "q-err root" "q-err max" "est cost" "eval(ms)";
+  List.iter
+    (fun e ->
+      let q = e.Lubm.Workload.query in
+      let fol = Obda.reformulate engine tbox (Obda.Gdl Obda.Ext_cost) q in
+      let plan = Rdbms.Planner.of_fol layout fol in
+      let t0 = Unix.gettimeofday () in
+      let _, stats =
+        Rdbms.Exec.run_analyzed ~config:profile.Rdbms.Explain.exec_config layout
+          plan
+      in
+      let eval_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      let node_q (s : Rdbms.Exec.node_stats) =
+        let est = Rdbms.Explain.node_estimate profile layout s.Rdbms.Exec.plan in
+        Rdbms.Explain.q_error ~est:est.Rdbms.Explain.est_rows
+          ~actual:s.Rdbms.Exec.actual_rows
+      in
+      let rec max_q acc (s : Rdbms.Exec.node_stats) =
+        List.fold_left max_q (Float.max acc (node_q s)) s.Rdbms.Exec.children
+      in
+      let root_est = Rdbms.Explain.node_estimate profile layout stats.Rdbms.Exec.plan in
+      record_json
+        [ "exp", "\"calibration\"";
+          "query", Printf.sprintf "%S" e.Lubm.Workload.name;
+          "est_rows", Printf.sprintf "%.1f" root_est.Rdbms.Explain.est_rows;
+          "actual_rows", string_of_int stats.Rdbms.Exec.actual_rows;
+          "q_error_root", Printf.sprintf "%.3f" (node_q stats);
+          "q_error_max", Printf.sprintf "%.3f" (max_q 1.0 stats);
+          "est_cost", Printf.sprintf "%.1f" root_est.Rdbms.Explain.total_cost;
+          "eval_ms", Printf.sprintf "%.3f" eval_ms ];
+      Fmt.pr "%-4s %12.0f %12d %12.2f %12.2f %12.0f %10.2f@." e.Lubm.Workload.name
+        root_est.Rdbms.Explain.est_rows stats.Rdbms.Exec.actual_rows (node_q stats)
+        (max_q 1.0 stats) root_est.Rdbms.Explain.total_cost eval_ms)
+    Lubm.Workload.queries
+
 (* {1 Bechamel micro-benchmarks (one group per table/figure)} *)
 
 let bechamel_suite () =
@@ -545,18 +603,20 @@ let experiments =
     "uscq", exp_uscq;
     "views", exp_views;
     "saturation", exp_saturation;
+    "calibration", exp_calibration;
   ]
 
 let () =
   let usage =
     "main.exe [--exp ID]... [--small N] [--large N] [--seed S] [--jobs N] \
-     [--json FILE] [--bechamel]"
+     [--json FILE] [--metrics FILE] [--bechamel]"
   in
   let spec =
     [
       "--exp", Arg.String (fun s -> selected := s :: !selected),
         " run one experiment (table6, edl-vs-gdl, fig2-small, fig2-large, \
-         fig3-small, fig3-large, gdl-time, anatomy, ablation-gq, uscq, views)";
+         fig3-small, fig3-large, gdl-time, anatomy, ablation-gq, uscq, views, \
+         saturation, calibration)";
       "--small", Arg.Set_int small_facts, " facts in the small dataset (default 30000)";
       "--large", Arg.Set_int large_facts, " facts in the large dataset (default 120000)";
       "--seed", Arg.Set_int seed, " generator seed (default 42)";
@@ -564,6 +624,8 @@ let () =
         " evaluation domains (default 1 = sequential; 0 = all cores)";
       "--json", Arg.String (fun f -> json_file := Some f),
         " dump per-cell and per-experiment timings to FILE";
+      "--metrics", Arg.String (fun f -> metrics_file := Some f),
+        " dump the process-wide metrics registry to FILE as JSON";
       "--bechamel", Arg.Set with_bechamel, " also run the Bechamel micro-benchmarks";
     ]
   in
@@ -606,4 +668,5 @@ let () =
     to_run;
   if !with_bechamel then bechamel_suite ();
   write_json ();
+  write_metrics ();
   Fmt.pr "@.total bench time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -136,14 +136,30 @@ let workload_cmd =
 
 (* {1 answer} *)
 
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"After the run, write the process-wide metrics registry to $(docv) \
+                 as JSON ($(b,-) for stdout as text).")
+
+let write_metrics = function
+  | None -> ()
+  | Some "-" -> print_string (Obs.Metrics.to_text ())
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (Obs.Metrics.to_json ());
+    output_char oc '\n';
+    close_out oc
+
 let answer_cmd =
   let run facts seed data rdf tbox_file inline qname engine_kind layout strategy limit
-      jobs =
+      jobs metrics =
     apply_jobs jobs;
     let tbox, abox = load_kb rdf tbox_file data facts seed in
     let engine = Obda.make_engine engine_kind layout abox in
     let q = find_query ~inline qname in
     let o = Obda.answer engine tbox strategy q in
+    write_metrics metrics;
     Fmt.pr "query      : %a@." Query.Cq.pp q;
     Fmt.pr "engine     : %s@." (Obda.engine_name engine);
     Fmt.pr "strategy   : %s@." (Obda.strategy_name o.Obda.strategy);
@@ -165,7 +181,7 @@ let answer_cmd =
     (Cmd.info "answer" ~doc:"Answer a workload query end to end.")
     Term.(const run $ facts_arg $ seed_arg $ data_arg $ rdf_arg $ tbox_arg
           $ query_string_arg $ query_arg $ engine_arg $ layout_arg $ strategy_arg
-          $ limit_arg $ jobs_arg)
+          $ limit_arg $ jobs_arg $ metrics_arg)
 
 (* {1 explain} *)
 
@@ -180,44 +196,108 @@ let explain_cmd =
   let sql_flag_arg =
     Arg.(value & flag & info [ "sql" ] ~doc:"Print the full SQL statement.")
   in
+  let analyze_arg =
+    Arg.(value & flag
+         & info [ "analyze" ]
+             ~doc:"Execute the plan and show, per operator, the actual cardinality, \
+                   wall-clock time and cache outcome next to the cost-model estimate, \
+                   with the cardinality q-error.")
+  in
+  let format_arg =
+    let formats = [ "text", `Text; "json", `Json ] in
+    Arg.(value & opt (enum formats) `Text
+         & info [ "format" ] ~docv:"FMT" ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let trace_arg =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Record and print the optimizer's cover-search trace (one \
+                   candidate/accepted/rejected/chosen event per cover considered).")
+  in
   let run facts seed data rdf tbox_file inline qname engine_kind layout strategy
-      show_plan show_datalog show_sql =
+      show_plan show_datalog show_sql analyze format trace jobs =
+    apply_jobs jobs;
     let tbox, abox = load_kb rdf tbox_file data facts seed in
     let engine = Obda.make_engine engine_kind layout abox in
     let q = find_query ~inline qname in
-    let fol = Obda.reformulate engine tbox strategy q in
+    let reformulate () = Obda.reformulate engine tbox strategy q in
+    let fol, events =
+      if trace then Obs.Trace.record reformulate else reformulate (), []
+    in
     let est = Obda.estimator engine Obda.Rdbms_cost in
     let ext = Obda.estimator engine Obda.Ext_cost in
-    Fmt.pr "query        : %a@." Query.Cq.pp q;
-    Fmt.pr "strategy     : %s@." (Obda.strategy_name strategy);
-    Fmt.pr "dialect      : %s@."
-      (if Query.Fol.is_ucq fol then "UCQ"
-       else if Query.Fol.is_jucq fol then "JUCQ"
-       else if Query.Fol.is_juscq fol then "JUSCQ"
-       else "FOL");
-    Fmt.pr "cq disjuncts : %d@." (Query.Fol.cq_count fol);
-    Fmt.pr "join width   : %d@." (Query.Fol.join_width fol);
-    Fmt.pr "rdbms cost   : %.0f@." (est.Optimizer.Estimator.estimate fol);
-    Fmt.pr "ext cost     : %.0f@." (ext.Optimizer.Estimator.estimate fol);
-    let sql = Sql.Sql_gen.of_fol (Obda.layout engine) fol in
-    Fmt.pr "sql bytes    : %d@." (Sql.Sql_ast.length sql);
-    let root = Covers.Safety.root_cover tbox q in
-    Fmt.pr "root cover   : %a@." Covers.Cover.pp root;
-    if show_plan then begin
-      let plan = Rdbms.Planner.of_fol (Obda.layout engine) fol in
-      Fmt.pr "@.== physical plan ==@.%s@."
-        (Rdbms.Explain.render (Obda.profile engine) (Obda.layout engine) plan)
-    end;
-    if show_datalog then
-      Fmt.pr "@.== datalog program (%d rules) ==@.%s@."
-        (Syntax.Datalog.rule_count fol) (Syntax.Datalog.of_fol fol);
-    if show_sql then Fmt.pr "@.== sql ==@.%s@." (Sql.Sql_ast.to_string sql)
+    let profile = Obda.profile engine and lay = Obda.layout engine in
+    let plan = Rdbms.Planner.of_fol lay fol in
+    let stats =
+      if analyze then
+        let _, stats =
+          Rdbms.Exec.run_analyzed ~config:profile.Rdbms.Explain.exec_config lay plan
+        in
+        Some stats
+      else None
+    in
+    let sql = Sql.Sql_gen.of_fol lay fol in
+    let dialect =
+      if Query.Fol.is_ucq fol then "UCQ"
+      else if Query.Fol.is_jucq fol then "JUCQ"
+      else if Query.Fol.is_juscq fol then "JUSCQ"
+      else "FOL"
+    in
+    match format with
+    | `Json ->
+      let plan_json =
+        match stats with
+        | Some s -> Rdbms.Explain.render_analyze_json profile lay s
+        | None -> Rdbms.Explain.render_json profile lay plan
+      in
+      Fmt.pr
+        "{\"query\":%S,\"strategy\":%S,\"dialect\":%S,\"cq_disjuncts\":%d,\
+         \"join_width\":%d,\"rdbms_cost\":%.1f,\"ext_cost\":%.1f,\"sql_bytes\":%d,\
+         \"analyze\":%b,\"plan\":%s,\"trace\":[%s]}@."
+        (Fmt.str "%a" Query.Cq.pp q)
+        (Obda.strategy_name strategy) dialect (Query.Fol.cq_count fol)
+        (Query.Fol.join_width fol)
+        (est.Optimizer.Estimator.estimate fol)
+        (ext.Optimizer.Estimator.estimate fol)
+        (Sql.Sql_ast.length sql)
+        analyze plan_json
+        (String.concat "," (List.map Obs.Trace.event_to_json events))
+    | `Text ->
+      Fmt.pr "query        : %a@." Query.Cq.pp q;
+      Fmt.pr "strategy     : %s@." (Obda.strategy_name strategy);
+      Fmt.pr "dialect      : %s@." dialect;
+      Fmt.pr "cq disjuncts : %d@." (Query.Fol.cq_count fol);
+      Fmt.pr "join width   : %d@." (Query.Fol.join_width fol);
+      Fmt.pr "rdbms cost   : %.0f@." (est.Optimizer.Estimator.estimate fol);
+      Fmt.pr "ext cost     : %.0f@." (ext.Optimizer.Estimator.estimate fol);
+      Fmt.pr "sql bytes    : %d@." (Sql.Sql_ast.length sql);
+      let root = Covers.Safety.root_cover tbox q in
+      Fmt.pr "root cover   : %a@." Covers.Cover.pp root;
+      if trace then begin
+        Fmt.pr "@.== cover-search trace (%d events) ==@." (List.length events);
+        List.iter (fun e -> Fmt.pr "%a@." Obs.Trace.pp_event e) events
+      end;
+      (match stats with
+       | Some s ->
+         Fmt.pr "@.== explain analyze ==@.%s"
+           (Rdbms.Explain.render_analyze profile lay s)
+       | None ->
+         if show_plan then
+           Fmt.pr "@.== physical plan ==@.%s"
+             (Rdbms.Explain.render profile lay plan));
+      if show_datalog then
+        Fmt.pr "@.== datalog program (%d rules) ==@.%s@."
+          (Syntax.Datalog.rule_count fol) (Syntax.Datalog.of_fol fol);
+      if show_sql then Fmt.pr "@.== sql ==@.%s@." (Sql.Sql_ast.to_string sql)
   in
   Cmd.v
-    (Cmd.info "explain" ~doc:"Show the reformulation a strategy chooses, with cost estimates.")
+    (Cmd.info "explain"
+       ~doc:"Show the reformulation a strategy chooses, with cost estimates; \
+             $(b,--analyze) also executes it and confronts estimates with actuals.")
     Term.(const run $ facts_arg $ seed_arg $ data_arg $ rdf_arg $ tbox_arg
           $ query_string_arg $ query_arg $ engine_arg $ layout_arg $ strategy_arg
-          $ plan_arg $ datalog_arg $ sql_flag_arg)
+          $ plan_arg $ datalog_arg $ sql_flag_arg $ analyze_arg $ format_arg
+          $ trace_arg $ jobs_arg)
 
 (* {1 covers} *)
 

@@ -52,9 +52,11 @@ let help () =
   ask QUERY                     answer a CQ, e.g. ask q(?x) <- Person(?x)
   QNAME                         run a workload query, e.g. Q3 or A4
   explain QUERY|QNAME           reformulation, cover, costs
+  analyze QUERY|QNAME           EXPLAIN ANALYZE: estimates vs actuals (also :explain)
   plan QUERY|QNAME              annotated physical plan
   sql QUERY|QNAME               generated SQL
   datalog QUERY|QNAME           Datalog rendering of the reformulation
+  metrics                       process-wide metrics registry (also :metrics)
   quit                          exit
 |}
 
@@ -95,6 +97,16 @@ let run_explain st text =
   Fmt.pr "ext cost   : %.0f@."
     ((Obda.estimator st.engine Obda.Ext_cost).Optimizer.Estimator.estimate fol);
   Fmt.pr "sql bytes  : %d@." (Sql.Sql_gen.sql_length (Obda.layout st.engine) fol)
+
+let run_analyze st text =
+  let q = parse_query st text in
+  let fol = Obda.reformulate st.engine st.tbox st.strategy q in
+  let profile = Obda.profile st.engine and lay = Obda.layout st.engine in
+  let plan = Rdbms.Planner.of_fol lay fol in
+  let _, stats =
+    Rdbms.Exec.run_analyzed ~config:profile.Rdbms.Explain.exec_config lay plan
+  in
+  print_string (Rdbms.Explain.render_analyze profile lay stats)
 
 let run_plan st text =
   let q = parse_query st text in
@@ -195,6 +207,8 @@ let handle st line =
        else "already present")
   | "ask" :: rest -> run_ask st (String.concat " " rest)
   | "explain" :: rest -> run_explain st (String.concat " " rest)
+  | ("analyze" | ":explain") :: rest -> run_analyze st (String.concat " " rest)
+  | [ "metrics" ] | [ ":metrics" ] -> print_string (Obs.Metrics.to_text ())
   | "plan" :: rest -> run_plan st (String.concat " " rest)
   | "sql" :: rest -> run_sql st (String.concat " " rest)
   | "datalog" :: rest -> run_datalog st (String.concat " " rest)

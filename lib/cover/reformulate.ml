@@ -4,11 +4,17 @@ type fragment_language =
   | Ucq_fragments
   | Uscq_fragments
 
+let m_fragments =
+  Obs.Metrics.counter
+    ~help:"cover fragment queries reformulated (incl. cache hits)"
+    "cover.fragments.reformulated"
+
 let ucq tbox q =
   let u = Reform.Perfectref.reformulate_cached tbox q in
   Fol.leaf ~out:q.Cq.head u
 
 let reformulate_fragment language tbox fq =
+  Obs.Metrics.incr m_fragments;
   match language with
   | Ucq_fragments ->
     Fol.leaf ~out:fq.Cq.head (Reform.Perfectref.reformulate_cached tbox fq)

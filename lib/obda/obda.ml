@@ -108,6 +108,20 @@ let reformulate e tbox strategy q =
       .Optimizer.Gdl.reformulation
   | Edl src -> (Optimizer.Edl.search tbox (estimator e src) q).Optimizer.Edl.reformulation
 
+let m_queries =
+  Obs.Metrics.counter ~help:"end-to-end queries answered" "obda.queries"
+
+let m_search_ms =
+  Obs.Metrics.histogram
+    ~help:"reformulation / cover-search latency (ms)" "obda.search_ms"
+
+let m_eval_ms =
+  Obs.Metrics.histogram ~help:"plan evaluation latency (ms)" "obda.eval_ms"
+
+let m_total_ms =
+  Obs.Metrics.histogram
+    ~help:"end-to-end query latency, search + SQL + eval (ms)" "obda.total_ms"
+
 let answer e tbox strategy q =
   let t0 = Unix.gettimeofday () in
   let reformulation = reformulate e tbox strategy q in
@@ -130,6 +144,10 @@ let answer e tbox strategy q =
            ?views:e.views e.layout plan)
   in
   let eval_time = Unix.gettimeofday () -. t1 in
+  Obs.Metrics.incr m_queries;
+  Obs.Metrics.observe m_search_ms (search_time *. 1000.);
+  Obs.Metrics.observe m_eval_ms (eval_time *. 1000.);
+  Obs.Metrics.observe m_total_ms ((Unix.gettimeofday () -. t0) *. 1000.);
   {
     strategy;
     reformulation;

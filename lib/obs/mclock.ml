@@ -1,0 +1,7 @@
+let now_ns () = Monotonic_clock.now ()
+
+let elapsed_ns ~since =
+  let d = Int64.sub (now_ns ()) since in
+  if Int64.compare d 0L < 0 then 0L else d
+
+let ns_to_ms ns = Int64.to_float ns /. 1e6

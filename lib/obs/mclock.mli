@@ -1,0 +1,15 @@
+(** Monotonic time for instrumentation. Wall-clock
+    ([Unix.gettimeofday]) can jump under NTP adjustment; operator
+    timings in EXPLAIN ANALYZE and the latency histograms use the
+    kernel's monotonic clock instead (via the [CLOCK_MONOTONIC] stub
+    shipped with bechamel, already a dependency of the bench). *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock. Only differences are
+    meaningful. *)
+
+val elapsed_ns : since:int64 -> int64
+(** [elapsed_ns ~since] is [now_ns () - since], clamped to [>= 0]. *)
+
+val ns_to_ms : int64 -> float
+(** Nanoseconds to milliseconds. *)

@@ -9,11 +9,20 @@ type result = {
   search_time : float;
 }
 
+let m_searches = Obs.Metrics.counter ~help:"EDL searches run" "edl.searches"
+
+let m_examined =
+  Obs.Metrics.counter
+    ~help:"covers enumerated and cost-estimated by EDL"
+    "edl.covers.examined"
+
 let search ?(max_covers = 20_000) ?(language = Reformulate.Ucq_fragments) ?jobs
     tbox estimator q =
   let t0 = Unix.gettimeofday () in
+  Obs.Metrics.incr m_searches;
   let covers = Generalized.enumerate ~max_count:max_covers tbox q in
   let examined = List.length covers in
+  Obs.Metrics.add m_examined examined;
   (* Reformulating and cost-estimating a cover touches no search
      state, so every candidate scores on the domain pool; the winner
      is then picked by the same first-minimum fold as the sequential
@@ -26,6 +35,14 @@ let search ?(max_covers = 20_000) ?(language = Reformulate.Ucq_fragments) ?jobs
         cover, fol, estimator.Estimator.estimate fol)
       covers
   in
+  (* Trace emission happens after the parallel scoring pass, in
+     enumeration order, so traces are deterministic at any job count. *)
+  if Obs.Trace.enabled () then
+    List.iter
+      (fun (cover, _, cost) ->
+        Obs.Trace.emit ~source:"edl" ~step:0 ~verdict:Obs.Trace.Candidate ~cost
+          (Fmt.str "%a" Generalized.pp cover))
+      scored;
   let best =
     List.fold_left
       (fun best (cover, fol, cost) ->
@@ -37,6 +54,10 @@ let search ?(max_covers = 20_000) ?(language = Reformulate.Ucq_fragments) ?jobs
   match best with
   | None -> invalid_arg "Edl.search: no cover (empty query?)"
   | Some (cover, reformulation, est_cost) ->
+    if Obs.Trace.enabled () then
+      Obs.Trace.emit ~source:"edl" ~step:0 ~verdict:Obs.Trace.Chosen
+        ~cost:est_cost
+        (Fmt.str "%a" Generalized.pp cover);
     {
       cover;
       reformulation;

@@ -20,8 +20,23 @@ type search_state = {
   mutable simple_seen : int;
   mutable total_seen : int;
   mutable cost_seconds : float;
+  mutable step : int;  (** current move number, for trace events *)
   deadline : float option;
 }
+
+let m_searches = Obs.Metrics.counter ~help:"GDL searches run" "gdl.searches"
+
+let m_scored =
+  Obs.Metrics.counter
+    ~help:"covers reformulated and cost-estimated by GDL"
+    "gdl.covers.scored"
+
+let m_pruned =
+  Obs.Metrics.counter
+    ~help:"candidate covers skipped by GDL because already memoised"
+    "gdl.covers.pruned"
+
+let m_moves = Obs.Metrics.counter ~help:"GDL moves accepted" "gdl.moves"
 
 let cover_key cover = Fmt.str "%a" Generalized.pp cover
 
@@ -39,10 +54,17 @@ let score st cover =
   let c = st.estimator.Estimator.estimate fol in
   c, fol, Unix.gettimeofday () -. t0
 
+(* Always called sequentially (in candidate order after a parallel
+   scoring batch), so the Candidate trace stream is deterministic. *)
 let record st cover (c, fol, elapsed) =
   st.cost_seconds <- st.cost_seconds +. elapsed;
   st.total_seen <- st.total_seen + 1;
   if Generalized.is_simple cover then st.simple_seen <- st.simple_seen + 1;
+  Obs.Metrics.incr m_scored;
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit ~source:"gdl" ~step:st.step ~verdict:Obs.Trace.Candidate
+      ~cost:c
+      (Fmt.str "%a" Generalized.pp cover);
   Hashtbl.add st.cost_cache (cover_key cover) (c, fol)
 
 (* Estimated cost of a cover's reformulation, memoised per cover. *)
@@ -67,7 +89,10 @@ let batch_costs ?jobs st candidates =
     List.filter
       (fun cover ->
         let key = cover_key cover in
-        if Hashtbl.mem st.cost_cache key || Hashtbl.mem seen key then false
+        if Hashtbl.mem st.cost_cache key || Hashtbl.mem seen key then begin
+          Obs.Metrics.incr m_pruned;
+          false
+        end
         else begin
           Hashtbl.add seen key ();
           true
@@ -121,6 +146,7 @@ let candidate_moves ?(space = `Gq) cover =
 let search ?time_budget ?(space = `Gq) ?(language = Reformulate.Ucq_fragments) ?jobs
     tbox estimator q =
   let t0 = Unix.gettimeofday () in
+  Obs.Metrics.incr m_searches;
   let st =
     {
       estimator;
@@ -130,6 +156,7 @@ let search ?time_budget ?(space = `Gq) ?(language = Reformulate.Ucq_fragments) ?
       simple_seen = 0;
       total_seen = 0;
       cost_seconds = 0.;
+      step = 0;
       deadline = Option.map (fun b -> t0 +. b) time_budget;
     }
   in
@@ -137,6 +164,7 @@ let search ?time_budget ?(space = `Gq) ?(language = Reformulate.Ucq_fragments) ?
   let rec loop cover cost moves =
     if out_of_time st then cover, cost, moves, true
     else begin
+      st.step <- moves + 1;
       let candidates = candidate_moves ~space cover in
       batch_costs ?jobs st candidates;
       let best =
@@ -154,12 +182,30 @@ let search ?time_budget ?(space = `Gq) ?(language = Reformulate.Ucq_fragments) ?
          cost; both move kinds strictly shrink the fragment count or
          grow a fragment, so the walk always terminates. *)
       match best with
-      | Some (next, c) when c <= cost -> loop next c (moves + 1)
-      | _ -> cover, cost, moves, out_of_time st
+      | Some (next, c) when c <= cost ->
+        Obs.Metrics.incr m_moves;
+        if Obs.Trace.enabled () then
+          Obs.Trace.emit ~source:"gdl" ~step:st.step
+            ~verdict:Obs.Trace.Accepted ~cost:c
+            (Fmt.str "%a" Generalized.pp next);
+        loop next c (moves + 1)
+      | best ->
+        if Obs.Trace.enabled () then
+          Option.iter
+            (fun (cand, c) ->
+              Obs.Trace.emit ~source:"gdl" ~step:st.step
+                ~verdict:Obs.Trace.Rejected ~cost:c
+                (Fmt.str "%a" Generalized.pp cand))
+            best;
+        cover, cost, moves, out_of_time st
     end
   in
   let cost0, _ = cover_cost st start in
   let cover, est_cost, moves, timed_out = loop start cost0 0 in
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit ~source:"gdl" ~step:moves ~verdict:Obs.Trace.Chosen
+      ~cost:est_cost
+      (Fmt.str "%a" Generalized.pp cover);
   let _, reformulation = cover_cost st cover in
   {
     cover;

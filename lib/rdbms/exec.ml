@@ -22,6 +22,29 @@ type counters = {
   build_hits : int Atomic.t;
 }
 
+(* Registry metrics alongside the per-run counters: request totals are
+   deterministic at any job count (each request bumps exactly one of
+   performed/hit, and the set of requests is fixed by the plan), hit
+   counts can shift under racing misses. *)
+let m_scan_requests =
+  Obs.Metrics.counter ~help:"atom scans requested (performed + cache hits)"
+    "exec.scan.requests"
+
+let m_scan_hits =
+  Obs.Metrics.counter ~help:"atom scans served from the scan cache"
+    "exec.scan.cache_hits"
+
+let m_build_requests =
+  Obs.Metrics.counter ~help:"join build tables requested (built + cache hits)"
+    "exec.build.requests"
+
+let m_build_hits =
+  Obs.Metrics.counter ~help:"join build tables served from the build cache"
+    "exec.build.cache_hits"
+
+let m_union_arms =
+  Obs.Metrics.counter ~help:"union arms evaluated" "exec.union.arms"
+
 let fresh_counters () =
   {
     scans = Atomic.make 0;
@@ -127,6 +150,11 @@ let cacheable ctx atom =
   | Layout.Simple _ -> true
   | Layout.Rdf _ -> not (Query.Atom.is_role atom)
 
+type cache_outcome =
+  | Hit
+  | Miss
+  | Uncached
+
 (* Cache protocol under parallelism: the table lookup and insert hold
    the ctx mutex, the scan itself does not — two arms missing on the
    same signature recompute the same canonical relation and the last
@@ -134,24 +162,26 @@ let cacheable ctx atom =
 let scan_cached ctx atom =
   let signature = scan_signature atom in
   let use_cache = ctx.config.scan_cache && cacheable ctx atom in
+  Obs.Metrics.incr m_scan_requests;
   match
     if use_cache then locked ctx.lock (fun () -> Hashtbl.find_opt ctx.scans signature)
     else None
   with
   | Some r ->
     Atomic.incr ctx.counters.scan_hits;
-    r
+    Obs.Metrics.incr m_scan_hits;
+    r, Hit
   | None ->
     Atomic.incr ctx.counters.scans;
     let r = scan_canonical ctx atom in
     if use_cache then
       locked ctx.lock (fun () -> Hashtbl.replace ctx.scans signature r);
-    r
+    r, (if use_cache then Miss else Uncached)
 
 let scan ctx atom =
-  let canonical = scan_cached ctx atom in
+  let canonical, outcome = scan_cached ctx atom in
   let cols = Array.of_list (Plan.scan_cols atom) in
-  { canonical with Relation.cols }
+  { canonical with Relation.cols }, outcome
 
 (* Build-side sharing: when the build side is a base scan, key the
    build table on the scan signature and the canonical positions of the
@@ -181,23 +211,26 @@ let eval_join_cached ctx left_rel atom on =
     scan_signature atom ^ ":on:" ^ String.concat "," (List.map string_of_int positions)
   in
   let use_cache = cacheable ctx atom in
-  let build =
+  Obs.Metrics.incr m_build_requests;
+  let build, outcome =
     match
       if use_cache then locked ctx.lock (fun () -> Hashtbl.find_opt ctx.builds key)
       else None
     with
     | Some b ->
       Atomic.incr ctx.counters.build_hits;
-      b
+      Obs.Metrics.incr m_build_hits;
+      b, Hit
     | None ->
       Atomic.incr ctx.counters.builds;
-      let canonical = scan_cached ctx atom in
+      let canonical, _ = scan_cached ctx atom in
       let canonical_on = List.map (fun p -> "$" ^ string_of_int p) positions in
       let b = Relation.build canonical ~on:canonical_on in
       if use_cache then locked ctx.lock (fun () -> Hashtbl.replace ctx.builds key b);
-      b
+      b, (if use_cache then Miss else Uncached)
   in
-  rename_payload actual_cols (Relation.probe ~left:left_rel ~right_build:build ~on)
+  ( rename_payload actual_cols (Relation.probe ~left:left_rel ~right_build:build ~on),
+    outcome )
 
 (* Index nested loop over a role atom: every left row probes the index
    on the side named by [probe_col]; the opposite term either extends
@@ -212,6 +245,7 @@ let eval_index_join ctx left_rel atom probe_col =
     | _ -> Fmt.invalid_arg "Index_join: %s does not bind %a" probe_col Query.Atom.pp atom
   in
   Atomic.incr ctx.counters.scans;
+  Obs.Metrics.incr m_scan_requests;
   let probe_idx = Relation.col_index left_rel probe_col in
   let pairs v =
     match probe_side with
@@ -265,11 +299,12 @@ let eval_index_join ctx left_rel atom probe_col =
 
 let rec eval ctx plan =
   match plan with
-  | Plan.Scan atom -> scan ctx atom
+  | Plan.Scan atom -> fst (scan ctx atom)
   | Plan.Hash_join { left; right; on } -> (
     let l = eval ctx left in
     match right with
-    | Plan.Scan atom when ctx.config.build_cache -> eval_join_cached ctx l atom on
+    | Plan.Scan atom when ctx.config.build_cache ->
+      fst (eval_join_cached ctx l atom on)
     | _ ->
       Atomic.incr ctx.counters.builds;
       let r = eval ctx right in
@@ -296,6 +331,7 @@ let rec eval ctx plan =
        [Union] whose arms are independent. Arms evaluate on the domain
        pool and merge positionally in input order, so the result is
        identical to the sequential fold at any job count. *)
+    Obs.Metrics.add m_union_arms (List.length inputs);
     Relation.union_all ~cols (Parallel.map ~jobs:ctx.jobs (eval ctx) inputs)
   | Plan.Materialize p -> (
     match ctx.views with
@@ -313,6 +349,97 @@ let rec eval ctx plan =
             | None ->
               Hashtbl.replace store key rel;
               rel)))
+
+(* {2 Instrumented (EXPLAIN ANALYZE) evaluation}
+
+   A second recursive evaluator that produces, alongside the result
+   relation, a stats tree mirroring the plan: per operator, the actual
+   output cardinality, the monotonic wall-clock spent (inclusive of
+   children), and the cache outcome of the node's scan / build / view
+   access. It shares every helper (and thus every cache and counter)
+   with [eval]; the plain evaluator stays allocation-free of stats. *)
+
+type node_stats = {
+  plan : Plan.t;
+  actual_rows : int;
+  elapsed_ns : int64;
+  cache : cache_outcome;
+  children : node_stats list;
+}
+
+let rec eval_analyzed ctx plan =
+  let t0 = Obs.Mclock.now_ns () in
+  let finish ?(cache = Uncached) rel children =
+    ( rel,
+      {
+        plan;
+        actual_rows = Relation.cardinality rel;
+        elapsed_ns = Obs.Mclock.elapsed_ns ~since:t0;
+        cache;
+        children;
+      } )
+  in
+  match plan with
+  | Plan.Scan atom ->
+    let rel, outcome = scan ctx atom in
+    finish ~cache:outcome rel []
+  | Plan.Hash_join { left; right; on } -> (
+    let l, ls = eval_analyzed ctx left in
+    match right with
+    | Plan.Scan atom when ctx.config.build_cache ->
+      (* the build side folds into this node: its scan/build outcome is
+         the node's cache outcome, and it has no separate child *)
+      let rel, outcome = eval_join_cached ctx l atom on in
+      finish ~cache:outcome rel [ ls ]
+    | _ ->
+      Atomic.incr ctx.counters.builds;
+      let r, rs = eval_analyzed ctx right in
+      finish (Relation.hash_join l r ~on) [ ls; rs ])
+  | Plan.Merge_join { left; right; on } ->
+    let l, ls = eval_analyzed ctx left in
+    let r, rs = eval_analyzed ctx right in
+    finish (Relation.merge_join l r ~on) [ ls; rs ]
+  | Plan.Index_join { left; atom; probe_col } ->
+    let l, ls = eval_analyzed ctx left in
+    finish (eval_index_join ctx l atom probe_col) [ ls ]
+  | Plan.Project { input; out } ->
+    let r, rs = eval_analyzed ctx input in
+    let dict = Layout.dict ctx.layout in
+    let out' =
+      List.map
+        (function
+          | `Col c -> `Col c
+          | `Const k -> `Const (Dllite.Dict.encode dict k))
+        out
+    in
+    finish (Relation.project r out') [ rs ]
+  | Plan.Distinct p ->
+    let r, rs = eval_analyzed ctx p in
+    finish (Relation.distinct r) [ rs ]
+  | Plan.Union { cols; inputs } ->
+    Obs.Metrics.add m_union_arms (List.length inputs);
+    let arms = Parallel.map ~jobs:ctx.jobs (eval_analyzed ctx) inputs in
+    finish (Relation.union_all ~cols (List.map fst arms)) (List.map snd arms)
+  | Plan.Materialize p -> (
+    match ctx.views with
+    | None ->
+      let r, rs = eval_analyzed ctx p in
+      finish r [ rs ]
+    | Some store -> (
+      let key = Fmt.str "%a" Plan.pp p in
+      match locked views_lock (fun () -> Hashtbl.find_opt store key) with
+      | Some rel -> finish ~cache:Hit rel []
+      | None ->
+        let rel, rs = eval_analyzed ctx p in
+        let rel =
+          locked views_lock (fun () ->
+              match Hashtbl.find_opt store key with
+              | Some existing -> existing
+              | None ->
+                Hashtbl.replace store key rel;
+                rel)
+        in
+        finish ~cache:Miss rel [ rs ]))
 
 let run ?(config = postgres_like) ?counters ?views ?jobs layout plan =
   let counters = Option.value ~default:(fresh_counters ()) counters in
@@ -332,6 +459,25 @@ let run ?(config = postgres_like) ?counters ?views ?jobs layout plan =
     }
   in
   eval ctx plan
+
+let run_analyzed ?(config = postgres_like) ?counters ?views ?jobs layout plan =
+  let counters = Option.value ~default:(fresh_counters ()) counters in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
+  in
+  let ctx =
+    {
+      layout;
+      config;
+      counters;
+      lock = Mutex.create ();
+      scans = Hashtbl.create 64;
+      builds = Hashtbl.create 64;
+      views;
+      jobs;
+    }
+  in
+  eval_analyzed ctx plan
 
 let answers ?config ?views ?jobs layout plan =
   let rel = Relation.distinct (run ?config ?views ?jobs layout plan) in

@@ -53,6 +53,46 @@ val run :
   Layout.t ->
   Plan.t ->
   Relation.t
+(** Evaluates the plan and returns the result relation. *)
+
+(** {2 Instrumented (EXPLAIN ANALYZE) execution} *)
+
+(** What a node's scan / build-table / view access found in its
+    cache. [Uncached] covers operators with no cache in play (joins
+    over non-scan build sides, scans under the [postgres_like]
+    config, RDF-layout role scans). *)
+type cache_outcome =
+  | Hit
+  | Miss
+  | Uncached
+
+type node_stats = {
+  plan : Plan.t;  (** the operator this node instruments *)
+  actual_rows : int;  (** output cardinality actually produced *)
+  elapsed_ns : int64;  (** monotonic wall-clock, inclusive of children *)
+  cache : cache_outcome;
+  children : node_stats list;
+      (** in plan order. A hash join whose build side is a cached base
+          scan folds the build into the join node: it has one child
+          (the probe side) and carries the build's cache outcome. *)
+}
+(** Per-operator runtime statistics, mirroring the plan tree. Produced
+    by {!run_analyzed}, rendered against the cost-model estimates by
+    {!Explain.render_analyze}. *)
+
+val run_analyzed :
+  ?config:config ->
+  ?counters:counters ->
+  ?views:view_store ->
+  ?jobs:int ->
+  Layout.t ->
+  Plan.t ->
+  Relation.t * node_stats
+(** Like {!run}, but also records per-operator actual cardinalities,
+    cache outcomes and monotonic timings. Shares every cache, counter
+    and parallel code path with {!run} — the returned relation is
+    identical to [run]'s at any job count; only the timings vary run
+    to run. Union arms are instrumented concurrently on the pool. *)
 
 val answers :
   ?config:config ->

@@ -175,9 +175,59 @@ let cost profile layout plan =
   let est, total = cost_plan profile state layout plan in
   { total_cost = total; est_rows = est.Estimate.rows }
 
-(* EXPLAIN-style rendering. Each node is costed in isolation of its
+(* Per-node estimate in isolation of sibling discount state — how
+   engines display per-operator numbers, and the estimate EXPLAIN
+   ANALYZE confronts with the actual cardinality. *)
+let node_estimate profile layout plan =
+  let state = { seen_scans = Hashtbl.create 16; seen_builds = Hashtbl.create 16 } in
+  let est, c = cost_plan profile state layout plan in
+  { total_cost = c; est_rows = est.Estimate.rows }
+
+(* The q-error of a cardinality estimate: the multiplicative distance
+   max(est/act, act/est), both sides clamped below at one row so empty
+   results don't yield infinities. 1.0 is a perfect estimate. *)
+let q_error ~est ~actual =
+  let e = Float.max 1. est and a = Float.max 1. (float_of_int actual) in
+  Float.max (e /. a) (a /. e)
+
+(* {2 Rendering}
+
+   EXPLAIN-style rendering. Each node is costed in isolation of its
    siblings' discount state, which matches how engines display
-   per-operator estimates. Large unions are elided after a few arms. *)
+   per-operator estimates. Large unions are elided after a few arms in
+   the text renderings (never in JSON). *)
+
+let node_label p =
+  match p with
+  | Plan.Scan atom -> Fmt.str "Scan %a" Query.Atom.pp atom
+  | Plan.Hash_join { on; _ } ->
+    Printf.sprintf "Hash Join on [%s]" (String.concat "," on)
+  | Plan.Merge_join { on; _ } ->
+    Printf.sprintf "Merge Join on [%s]" (String.concat "," on)
+  | Plan.Index_join { atom; probe_col; _ } ->
+    Fmt.str "Index Join probe %s into %a" probe_col Query.Atom.pp atom
+  | Plan.Project { out; _ } ->
+    let cols =
+      List.map (function `Col cname -> cname | `Const k -> "'" ^ k ^ "'") out
+    in
+    Printf.sprintf "Project [%s]" (String.concat "," cols)
+  | Plan.Distinct _ -> "Distinct"
+  | Plan.Materialize _ -> "Materialize"
+  | Plan.Union { inputs; _ } ->
+    Printf.sprintf "Union of %d arms" (List.length inputs)
+
+let node_op = function
+  | Plan.Scan _ -> "scan"
+  | Plan.Hash_join _ -> "hash_join"
+  | Plan.Merge_join _ -> "merge_join"
+  | Plan.Index_join _ -> "index_join"
+  | Plan.Project _ -> "project"
+  | Plan.Distinct _ -> "distinct"
+  | Plan.Union _ -> "union"
+  | Plan.Materialize _ -> "materialize"
+
+let shown_union_arms = 4
+
 let render profile layout plan =
   let buf = Buffer.create 1024 in
   let line depth text =
@@ -186,48 +236,119 @@ let render profile layout plan =
     Buffer.add_char buf '\n'
   in
   let node_cost p =
-    let state = { seen_scans = Hashtbl.create 16; seen_builds = Hashtbl.create 16 } in
-    let est, c = cost_plan profile state layout p in
-    Printf.sprintf "(cost=%.0f rows=%.0f)" c est.Estimate.rows
+    let e = node_estimate profile layout p in
+    Printf.sprintf "(cost=%.0f rows=%.0f)" e.total_cost e.est_rows
+  in
+  let with_cost p =
+    match p with
+    | Plan.Project _ -> node_label p
+    | _ -> node_label p ^ "  " ^ node_cost p
   in
   let rec go depth p =
+    line depth (with_cost p);
     match p with
-    | Plan.Scan atom ->
-      line depth (Fmt.str "Scan %a  %s" Query.Atom.pp atom (node_cost p))
-    | Plan.Hash_join { left; right; on } ->
-      line depth
-        (Printf.sprintf "Hash Join on [%s]  %s" (String.concat "," on) (node_cost p));
+    | Plan.Scan _ -> ()
+    | Plan.Hash_join { left; right; _ } | Plan.Merge_join { left; right; _ } ->
       go (depth + 1) left;
       go (depth + 1) right
-    | Plan.Merge_join { left; right; on } ->
-      line depth
-        (Printf.sprintf "Merge Join on [%s]  %s" (String.concat "," on) (node_cost p));
-      go (depth + 1) left;
-      go (depth + 1) right
-    | Plan.Index_join { left; atom; probe_col } ->
-      line depth
-        (Fmt.str "Index Join probe %s into %a  %s" probe_col Query.Atom.pp atom
-           (node_cost p));
-      go (depth + 1) left
-    | Plan.Project { input; out } ->
-      let cols =
-        List.map (function `Col cname -> cname | `Const k -> "'" ^ k ^ "'") out
-      in
-      line depth (Printf.sprintf "Project [%s]" (String.concat "," cols));
-      go (depth + 1) input
-    | Plan.Distinct inner ->
-      line depth (Printf.sprintf "Distinct  %s" (node_cost p));
-      go (depth + 1) inner
-    | Plan.Materialize inner ->
-      line depth (Printf.sprintf "Materialize  %s" (node_cost p));
-      go (depth + 1) inner
+    | Plan.Index_join { left; _ } -> go (depth + 1) left
+    | Plan.Project { input; _ } -> go (depth + 1) input
+    | Plan.Distinct inner | Plan.Materialize inner -> go (depth + 1) inner
     | Plan.Union { inputs; _ } ->
-      line depth
-        (Printf.sprintf "Union of %d arms  %s" (List.length inputs) (node_cost p));
-      let shown = 4 in
-      List.iteri (fun i arm -> if i < shown then go (depth + 1) arm) inputs;
-      if List.length inputs > shown then
-        line (depth + 1) (Printf.sprintf "... (%d more arms)" (List.length inputs - shown))
+      List.iteri (fun i arm -> if i < shown_union_arms then go (depth + 1) arm) inputs;
+      if List.length inputs > shown_union_arms then
+        line (depth + 1)
+          (Printf.sprintf "... (%d more arms)" (List.length inputs - shown_union_arms))
   in
   go 0 plan;
   Buffer.contents buf
+
+let json_escape = Printf.sprintf "%S"
+
+let rec render_json_node profile layout p =
+  let e = node_estimate profile layout p in
+  let children =
+    match p with
+    | Plan.Scan _ -> []
+    | Plan.Hash_join { left; right; _ } | Plan.Merge_join { left; right; _ } ->
+      [ left; right ]
+    | Plan.Index_join { left; _ } -> [ left ]
+    | Plan.Project { input; _ } -> [ input ]
+    | Plan.Distinct inner | Plan.Materialize inner -> [ inner ]
+    | Plan.Union { inputs; _ } -> inputs
+  in
+  Printf.sprintf
+    "{\"op\":%s,\"label\":%s,\"est_cost\":%.1f,\"est_rows\":%.1f,\"children\":[%s]}"
+    (json_escape (node_op p))
+    (json_escape (node_label p))
+    e.total_cost e.est_rows
+    (String.concat "," (List.map (render_json_node profile layout) children))
+
+let render_json profile layout plan = render_json_node profile layout plan
+
+(* {2 EXPLAIN ANALYZE rendering: estimates vs actuals} *)
+
+let cache_note stats =
+  let subject =
+    match stats.Exec.plan with
+    | Plan.Scan _ -> "scan"
+    | Plan.Hash_join _ -> "build"
+    | Plan.Materialize _ -> "view"
+    | _ -> "cache"
+  in
+  match stats.Exec.cache with
+  | Exec.Uncached -> ""
+  | Exec.Hit -> Printf.sprintf ", %s hit" subject
+  | Exec.Miss -> Printf.sprintf ", %s miss" subject
+
+let cache_json stats =
+  match stats.Exec.cache with
+  | Exec.Uncached -> "\"none\""
+  | Exec.Hit -> "\"hit\""
+  | Exec.Miss -> "\"miss\""
+
+let render_analyze profile layout stats =
+  let buf = Buffer.create 2048 in
+  let line depth text =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    Buffer.add_string buf text;
+    Buffer.add_char buf '\n'
+  in
+  let rec go depth (s : Exec.node_stats) =
+    let e = node_estimate profile layout s.Exec.plan in
+    line depth
+      (Printf.sprintf "%s  est(cost=%.0f rows=%.0f)  act(rows=%d time=%.3fms%s)  q-err=%.2f"
+         (node_label s.Exec.plan) e.total_cost e.est_rows s.Exec.actual_rows
+         (Obs.Mclock.ns_to_ms s.Exec.elapsed_ns)
+         (cache_note s)
+         (q_error ~est:e.est_rows ~actual:s.Exec.actual_rows));
+    match s.Exec.plan with
+    | Plan.Union _ when List.length s.Exec.children > shown_union_arms ->
+      List.iteri
+        (fun i arm -> if i < shown_union_arms then go (depth + 1) arm)
+        s.Exec.children;
+      let rest = List.filteri (fun i _ -> i >= shown_union_arms) s.Exec.children in
+      let rows = List.fold_left (fun acc a -> acc + a.Exec.actual_rows) 0 rest in
+      let ns =
+        List.fold_left (fun acc a -> Int64.add acc a.Exec.elapsed_ns) 0L rest
+      in
+      line (depth + 1)
+        (Printf.sprintf "... (%d more arms: rows=%d time=%.3fms)" (List.length rest)
+           rows (Obs.Mclock.ns_to_ms ns))
+    | _ -> List.iter (go (depth + 1)) s.Exec.children
+  in
+  go 0 stats;
+  Buffer.contents buf
+
+let rec render_analyze_json profile layout (s : Exec.node_stats) =
+  let e = node_estimate profile layout s.Exec.plan in
+  Printf.sprintf
+    "{\"op\":%s,\"label\":%s,\"est_cost\":%.1f,\"est_rows\":%.1f,\"actual_rows\":%d,\
+     \"time_ms\":%.6f,\"q_error\":%.3f,\"cache\":%s,\"children\":[%s]}"
+    (json_escape (node_op s.Exec.plan))
+    (json_escape (node_label s.Exec.plan))
+    e.total_cost e.est_rows s.Exec.actual_rows
+    (Obs.Mclock.ns_to_ms s.Exec.elapsed_ns)
+    (q_error ~est:e.est_rows ~actual:s.Exec.actual_rows)
+    (cache_json s)
+    (String.concat "," (List.map (render_analyze_json profile layout) s.Exec.children))

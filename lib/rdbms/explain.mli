@@ -47,6 +47,36 @@ val cost : profile -> Layout.t -> Plan.t -> estimate
     abstract work units (calibrated so that one unit ≈ one row
     operation). *)
 
+val node_estimate : profile -> Layout.t -> Plan.t -> estimate
+(** Like {!cost} but with fresh repeated-scan discount state, i.e. the
+    estimate of the node {e in isolation} of its siblings — the number
+    EXPLAIN displays per operator and confronts with the actual
+    cardinality under ANALYZE. *)
+
+val q_error : est:float -> actual:int -> float
+(** The q-error of a cardinality estimate:
+    [max (est /. actual) (actual /. est)], both sides clamped below at
+    one row so empty results don't produce infinities. [1.0] is a
+    perfect estimate; the paper's §6.3 discussion of ε("ext") accuracy
+    is this quantity aggregated over operators. *)
+
 val render : profile -> Layout.t -> Plan.t -> string
 (** An EXPLAIN-style rendering: the plan tree with the estimated
-    cumulative cost and output cardinality of every operator. *)
+    cumulative cost and output cardinality of every operator. Unions
+    are elided after four arms. *)
+
+val render_json : profile -> Layout.t -> Plan.t -> string
+(** {!render} as a JSON tree — one object per operator with [op],
+    [label], [est_cost], [est_rows] and [children]; no union elision. *)
+
+val render_analyze : profile -> Layout.t -> Exec.node_stats -> string
+(** EXPLAIN ANALYZE rendering: one line per operator showing the
+    estimate ([cost], [rows]) side by side with the recorded actuals
+    ([rows], wall-clock [time], scan/build/view cache outcome) and the
+    per-operator cardinality {!q_error}. Unions are elided after four
+    arms, with the remainder aggregated on one line. *)
+
+val render_analyze_json : profile -> Layout.t -> Exec.node_stats -> string
+(** {!render_analyze} as a JSON tree — adds [actual_rows], [time_ms],
+    [q_error] and [cache] (["hit"], ["miss"] or ["none"]) to each
+    operator object; no union elision. *)

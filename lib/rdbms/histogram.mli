@@ -14,8 +14,10 @@ val build : ?buckets:int -> ?heavy_hitters:int -> int array -> t
     [heavy_hitters] (values tracked exactly) to 16. *)
 
 val total_rows : t -> int
+(** Number of rows the histogram summarises. *)
 
 val distinct_values : t -> int
+(** Number of distinct values observed while building. *)
 
 val est_eq : t -> int -> float
 (** Estimated number of rows whose value equals the argument: exact for
@@ -26,3 +28,4 @@ val max_frequency : t -> int
 (** Frequency of the most common value. *)
 
 val pp : Format.formatter -> t -> unit
+(** Debug rendering: bucket boundaries and tracked heavy hitters. *)

@@ -7,21 +7,31 @@ type t =
   | Rdf of Rdf_layout.t
 
 val simple_of_abox : Dllite.Abox.t -> t
+(** Load an ABox into the simple layout (one deduped table per
+    concept/role). *)
 
 val rdf_of_abox : ?width:int -> Dllite.Abox.t -> t
+(** Load an ABox into the DB2RDF-style wide tables ([width] = number of
+    predicate/object column pairs per row; defaults in
+    {!Rdf_layout}). *)
 
 val name : t -> string
 (** ["simple"] or ["rdf"]. *)
 
 val dict : t -> Dllite.Dict.t
+(** The shared dictionary encoding individuals as integer codes. *)
 
 val concept_rows : t -> string -> int array
+(** All member codes of a concept, one full scan. *)
 
 val role_rows : t -> string -> (int * int) array
+(** All (subject, object) pairs of a role, one full scan. *)
 
 val role_lookup_subject : t -> string -> int -> (int * int) list
+(** Index probe: the role rows whose subject equals the code. *)
 
 val role_lookup_object : t -> string -> int -> (int * int) list
+(** Index probe: the role rows whose object equals the code. *)
 
 val role_lookup_subject_arr : t -> string -> int -> (int * int) array
 (** Array variants of the index probes, used by the scan operators to
@@ -29,12 +39,17 @@ val role_lookup_subject_arr : t -> string -> int -> (int * int) array
     returned array aliases the index and must not be mutated. *)
 
 val role_lookup_object_arr : t -> string -> int -> (int * int) array
+(** Array variant of {!role_lookup_object}; same aliasing caveat as
+    {!role_lookup_subject_arr}. *)
 
 val concept_mem : t -> string -> int -> bool
+(** Membership test of a code in a concept. *)
 
 val concept_card : t -> string -> int
+(** Number of stored members of a concept. *)
 
 val role_card : t -> string -> int
+(** Number of stored pairs of a role. *)
 
 val role_ndv : t -> string -> int * int
 (** Distinct subjects and objects of a role. *)
@@ -46,8 +61,10 @@ val scan_work : t -> [ `Concept of string | `Role of string ] -> int
     probes every predicate column of every DPH row. *)
 
 val total_facts : t -> int
+(** Total number of stored facts across all predicates. *)
 
 val individual_count : t -> int
+(** Number of distinct individuals in the dictionary. *)
 
 val role_eq_rows : t -> string -> [ `Subject | `Object ] -> int -> float option
 (** Histogram-based estimate of the rows of a role whose subject or
@@ -58,3 +75,4 @@ val insert_concept : t -> concept:string -> ind:string -> bool
 (** Incrementally asserts a concept fact; [false] if already stored. *)
 
 val insert_role : t -> role:string -> subj:string -> obj:string -> bool
+(** Incrementally asserts a role fact; [false] if already stored. *)

@@ -16,16 +16,23 @@ val default_width : int
 (** Number of (predicate, object) column pairs per row (8). *)
 
 val of_abox : ?width:int -> Dllite.Abox.t -> t
+(** Load an ABox into DPH/RPH/type tables ([width] defaults to
+    {!default_width}). *)
 
 val width : t -> int
+(** The layout's (predicate, object) pairs per row. *)
 
 val dict : t -> Dllite.Dict.t
+(** The dictionary encoding individuals as integer codes. *)
 
 val dph_row_count : t -> int
+(** Rows of the subject-keyed wide table (including spill rows). *)
 
 val rph_row_count : t -> int
+(** Rows of the object-keyed wide table. *)
 
 val type_row_count : t -> int
+(** Rows of the type (concept-membership) table. *)
 
 val spill_row_count : t -> int
 (** DPH rows beyond the first for some subject (hash collisions). *)
@@ -41,28 +48,35 @@ val role_lookup_subject : t -> string -> int -> (int * int) list
 (** Primary-key access: only the DPH rows of the subject are probed. *)
 
 val role_lookup_object : t -> string -> int -> (int * int) list
+(** Primary-key access on the RPH table. *)
 
 val role_lookup_subject_arr : t -> string -> int -> (int * int) array
 (** Array variants of the index probes (fresh arrays; callers may keep
     them). *)
 
 val role_lookup_object_arr : t -> string -> int -> (int * int) array
-(** Primary-key access on the RPH table. *)
+(** Array variant of {!role_lookup_object}. *)
 
 val concept_names : t -> string list
+(** Concepts with at least one type triple. *)
 
 val role_names : t -> string list
+(** Roles with at least one stored pair. *)
 
 val concept_card : t -> string -> int
+(** Number of members of a concept. *)
 
 val role_card : t -> string -> int
+(** Number of pairs of a role. *)
 
 val role_ndv : t -> string -> int * int
 (** Distinct subjects and objects of a role (collected at load). *)
 
 val total_facts : t -> int
+(** Total stored facts (type triples + role pairs). *)
 
 val individual_count : t -> int
+(** Number of distinct individuals in the dictionary. *)
 
 val insert_concept : t -> concept:string -> ind:string -> bool
 (** Adds a type triple; returns [false] when already present. *)

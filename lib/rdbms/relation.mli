@@ -8,20 +8,27 @@ type t = {
 }
 
 val make : cols:string list -> rows:int array list -> t
+(** A relation from its column names and rows (no copying, no
+    validation beyond use). *)
 
 val empty : cols:string list -> t
+(** The empty relation over the given columns. *)
 
 val boolean : bool -> t
 (** The two zero-arity relations: [true] is the single empty tuple. *)
 
 val arity : t -> int
+(** Number of columns. *)
 
 val cardinality : t -> int
+(** Number of rows (a bag count — apply {!distinct} for set
+    semantics). *)
 
 val col_index : t -> string -> int
 (** Raises [Not_found] when the column does not exist. *)
 
 val mem_col : t -> string -> bool
+(** Whether the relation has a column of that name. *)
 
 val common_cols : t -> t -> string list
 (** Column names present in both relations, in first-relation order. *)
@@ -63,3 +70,4 @@ val merge_join : t -> t -> on:string list -> t
     output columns as {!hash_join}. *)
 
 val pp : Format.formatter -> t -> unit
+(** Tabular debug rendering (codes, not dictionary-decoded names). *)

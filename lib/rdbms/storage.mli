@@ -10,12 +10,16 @@ type table_stats = {
 type t
 
 val of_abox : Dllite.Abox.t -> t
+(** Load an ABox: dictionary-encode, deduplicate, gather stats. *)
 
 val dict : t -> Dllite.Dict.t
+(** The dictionary mapping individual names to integer codes. *)
 
 val concept_names : t -> string list
+(** Concepts with at least one stored member. *)
 
 val role_names : t -> string list
+(** Roles with at least one stored pair. *)
 
 val concept_rows : t -> string -> int array
 (** Sorted, duplicate-free members of the concept ([||] if absent). *)
@@ -24,8 +28,10 @@ val role_rows : t -> string -> (int * int) array
 (** Duplicate-free pairs of the role. *)
 
 val concept_stats : t -> string -> table_stats
+(** Cardinality and distinct counts of a concept table. *)
 
 val role_stats : t -> string -> table_stats
+(** Cardinality and per-attribute distinct counts of a role table. *)
 
 val role_lookup_subject : t -> string -> int -> (int * int) list
 (** Index access: pairs of the role with the given subject. The index
@@ -33,19 +39,23 @@ val role_lookup_subject : t -> string -> int -> (int * int) list
     arms). *)
 
 val role_lookup_object : t -> string -> int -> (int * int) list
+(** Index access: pairs of the role with the given object. *)
 
 val role_lookup_subject_arr : t -> string -> int -> (int * int) array
 (** Like {!role_lookup_subject} but returns the index's own array —
     no per-lookup list allocation. Callers must not mutate it. *)
 
 val role_lookup_object_arr : t -> string -> int -> (int * int) array
+(** Array variant of {!role_lookup_object}; same aliasing caveat. *)
 
 val concept_mem : t -> string -> int -> bool
 (** Index access: membership of an individual in a concept. *)
 
 val total_facts : t -> int
+(** Total stored facts across all tables. *)
 
 val individual_count : t -> int
+(** Number of distinct individuals in the dictionary. *)
 
 (** {2 Incremental maintenance}
 
@@ -58,6 +68,7 @@ val insert_concept : t -> concept:string -> ind:string -> bool
     present. *)
 
 val insert_role : t -> role:string -> subj:string -> obj:string -> bool
+(** Asserts [role(subj, obj)]; returns [false] when already present. *)
 
 val role_histogram : t -> string -> [ `Subject | `Object ] -> Histogram.t option
 (** The equi-depth histogram of a role column, built lazily and

@@ -59,6 +59,24 @@ let specializations tbox q i =
   let atom = List.nth (Cq.atoms q) i in
   List.map (replace_atom q i) (atom_specializations tbox q atom)
 
+let m_fixpoint_iterations =
+  Obs.Metrics.counter
+    ~help:"PerfectRef frontier CQs processed until fixpoint"
+    "reform.fixpoint.iterations"
+
+let m_cqs_generated =
+  Obs.Metrics.counter
+    ~help:"distinct CQs produced by PerfectRef (before minimisation)"
+    "reform.cq.generated"
+
+let m_cache_requests =
+  Obs.Metrics.counter
+    ~help:"reformulation-cache lookups (hits + misses)"
+    "reform.cache.requests"
+
+let m_cache_hits =
+  Obs.Metrics.counter ~help:"reformulation-cache hits" "reform.cache.hits"
+
 let reformulate_raw tbox q =
   let seen = Hashtbl.create 256 in
   let canonical_key cq = Cq.to_string (Cq.canonicalize cq) in
@@ -76,6 +94,7 @@ let reformulate_raw tbox q =
     end
   in
   while not (Queue.is_empty frontier) do
+    Obs.Metrics.incr m_fixpoint_iterations;
     let cur = Queue.pop frontier in
     let n = Cq.atom_count cur in
     (* atom specialisation steps *)
@@ -91,6 +110,7 @@ let reformulate_raw tbox q =
       done
     done
   done;
+  Obs.Metrics.add m_cqs_generated (List.length !results);
   Ucq.make (List.rev !results)
 
 let reformulate tbox q = Ucq.minimize (reformulate_raw tbox q)
@@ -132,8 +152,11 @@ let reformulate_cached tbox q =
       let h = cache_for tbox in
       h, Hashtbl.find_opt h key)
   in
+  Obs.Metrics.incr m_cache_requests;
   match hit with
-  | Some u -> u
+  | Some u ->
+    Obs.Metrics.incr m_cache_hits;
+    u
   | None ->
     let u = reformulate tbox q in
     with_caches (fun () -> if not (Hashtbl.mem h key) then Hashtbl.add h key u);

@@ -13,4 +13,5 @@ let () =
       "syntax", Test_syntax.suite;
       "rdf", Test_rdf.suite;
       "parallel", Test_parallel.suite;
+      "obs", Test_obs.suite;
     ]
