@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test doc bench-smoke bench ci clean
+.PHONY: all build test doc bench-smoke bench-replay bench ci clean
 
 all: build
 
@@ -22,11 +22,18 @@ bench-smoke: build
 	$(DUNE) exec bench/main.exe -- --exp fig2-small --small 5000 --jobs 2 \
 	  --json BENCH_PR1.json
 
+# The E14 workload replay: Zipf-skewed repeated-query traffic against
+# a 64-entry plan cache, cold pass vs warm pass, recorded to
+# BENCH_PR3.json. Fails if warm answers diverge from cold.
+bench-replay: build
+	$(DUNE) exec bench/main.exe -- --exp replay --small 5000 \
+	  --json BENCH_PR3.json
+
 # The full benchmark suite at the default (sequential) job count.
 bench: build
 	$(DUNE) exec bench/main.exe
 
-ci: test doc bench-smoke
+ci: test doc bench-smoke bench-replay
 
 clean:
 	$(DUNE) clean

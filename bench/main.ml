@@ -11,6 +11,7 @@
      E8 anatomy      §2.3      — reformulation & SQL statement sizes
      E9 ablation-gq  §6.3      — generalized covers on/off
      E13 calibration §6.3      — cardinality q-errors via EXPLAIN ANALYZE
+     E14 replay      —         — plan cache under Zipf-skewed repeated queries
 
    Usage: main.exe [--exp ID]… [--small N] [--large N] [--seed S]
                    [--jobs N] [--json FILE] [--metrics FILE] [--bechamel]
@@ -528,6 +529,102 @@ let exp_calibration () =
         (max_q 1.0 stats) root_est.Rdbms.Explain.total_cost eval_ms)
     Lubm.Workload.queries
 
+(* {1 E14 — workload replay: the plan cache under repeated-query traffic} *)
+
+(* A Zipf-skewed request stream (weight 1/rank, s = 1) over the
+   workload queries, replayed twice against the same engine: the cold
+   pass populates the plan and reformulation caches, the warm pass
+   should answer every repeated query without searching. *)
+let exp_replay () =
+  Fmt.pr "@.== E14: workload replay — plan cache under repeated queries ==@.";
+  Fmt.pr "   (Zipf-skewed stream over Q1-Q13, identical cold and warm passes;@.";
+  Fmt.pr "    a warm hit skips PerfectRef and the GDL cover search)@.@.";
+  let plan_capacity = 64 in
+  let entries = Array.of_list Lubm.Workload.queries in
+  let n = Array.length entries in
+  let weights = Array.init n (fun i -> 1. /. float_of_int (i + 1)) in
+  let total_weight = Array.fold_left ( +. ) 0. weights in
+  let rng = Random.State.make [| 0xE14; !seed |] in
+  let pick () =
+    let r = Random.State.float rng total_weight in
+    let rec go i acc =
+      let acc = acc +. weights.(i) in
+      if r < acc || i = n - 1 then i else go (i + 1) acc
+    in
+    go 0 0.
+  in
+  let requests = Array.init 150 (fun _ -> pick ()) in
+  let engine = engine_for `Pglite `Simple !small_facts in
+  let strategy = Obda.Gdl Obda.Ext_cost in
+  Obda.clear_plan_cache ();
+  Reform.Perfectref.clear_cache ();
+  Obda.set_plan_cache_capacity plan_capacity;
+  let run_pass () =
+    Array.map
+      (fun i ->
+        let t0 = Unix.gettimeofday () in
+        let o = Obda.answer engine tbox strategy entries.(i).Lubm.Workload.query in
+        let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        ms, o.Obda.plan_cached, o.Obda.answers)
+      requests
+  in
+  let cold = run_pass () in
+  let warm = run_pass () in
+  let stats = Obda.plan_cache_stats () in
+  Obda.set_plan_cache_capacity Obda.default_plan_cache_capacity;
+  let identical =
+    Array.for_all2 (fun (_, _, a) (_, _, b) -> a = b) cold warm
+  in
+  let sum pass = Array.fold_left (fun acc (ms, _, _) -> acc +. ms) 0. pass in
+  let hits pass =
+    Array.fold_left (fun acc (_, h, _) -> if h then acc + 1 else acc) 0 pass
+  in
+  Fmt.pr "%-6s %8s %12s %12s %12s@." "qry" "requests" "cold(ms)" "warm(ms)"
+    "speedup";
+  Array.iteri
+    (fun qi e ->
+      let sel p = p |> Array.to_list
+        |> List.filteri (fun ri _ -> requests.(ri) = qi)
+        |> List.map (fun (ms, _, _) -> ms)
+      in
+      let avg = function [] -> nan | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l) in
+      let c = sel cold and w = sel warm in
+      if c <> [] then begin
+        let mc = avg c and mw = avg w in
+        record_json
+          [ "exp", "\"replay\"";
+            "query", Printf.sprintf "%S" e.Lubm.Workload.name;
+            "requests", string_of_int (List.length c);
+            "cold_ms", Printf.sprintf "%.3f" mc;
+            "warm_ms", Printf.sprintf "%.3f" mw ];
+        Fmt.pr "%-6s %8d %12.2f %12.2f %11.1fx@." e.Lubm.Workload.name
+          (List.length c) mc mw (mc /. Float.max 0.001 mw)
+      end)
+    entries;
+  let cold_total = sum cold and warm_total = sum warm in
+  let warm_hits = hits warm in
+  record_json
+    [ "exp", "\"replay\"";
+      "query", "\"TOTAL\"";
+      "requests", string_of_int (Array.length requests);
+      "plan_capacity", string_of_int plan_capacity;
+      "cold_ms", Printf.sprintf "%.3f" cold_total;
+      "warm_ms", Printf.sprintf "%.3f" warm_total;
+      "cold_plan_hits", string_of_int (hits cold);
+      "warm_plan_hits", string_of_int warm_hits;
+      "plan_cache_hit_total", string_of_int stats.Cache.Lru.hits;
+      "plan_cache_evictions", string_of_int stats.Cache.Lru.evictions;
+      "answers_identical", string_of_bool identical ];
+  Fmt.pr "@.cold pass  : %8.1f ms (%d/%d plan-cache hits)@." cold_total
+    (hits cold) (Array.length requests);
+  Fmt.pr "warm pass  : %8.1f ms (%d/%d plan-cache hits, %.1fx)@." warm_total
+    warm_hits (Array.length requests)
+    (cold_total /. Float.max 0.1 warm_total);
+  Fmt.pr "plan cache : %a@." Cache.Lru.pp_stats stats;
+  Fmt.pr "reform     : %a@." Cache.Lru.pp_stats (Reform.Perfectref.cache_stats ());
+  Fmt.pr "answers identical cold vs warm: %b@." identical;
+  if not identical then failwith "E14: warm answers diverged from cold"
+
 (* {1 Bechamel micro-benchmarks (one group per table/figure)} *)
 
 let bechamel_suite () =
@@ -604,6 +701,7 @@ let experiments =
     "views", exp_views;
     "saturation", exp_saturation;
     "calibration", exp_calibration;
+    "replay", exp_replay;
   ]
 
 let () =
@@ -616,7 +714,7 @@ let () =
       "--exp", Arg.String (fun s -> selected := s :: !selected),
         " run one experiment (table6, edl-vs-gdl, fig2-small, fig2-large, \
          fig3-small, fig3-large, gdl-time, anatomy, ablation-gq, uscq, views, \
-         saturation, calibration)";
+         saturation, calibration, replay)";
       "--small", Arg.Set_int small_facts, " facts in the small dataset (default 30000)";
       "--large", Arg.Set_int large_facts, " facts in the large dataset (default 120000)";
       "--seed", Arg.Set_int seed, " generator seed (default 42)";

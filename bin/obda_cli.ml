@@ -59,6 +59,29 @@ let jobs_arg =
 let apply_jobs jobs =
   Parallel.set_default_jobs (if jobs <= 0 then Parallel.recommended_jobs () else jobs)
 
+let plan_cache_arg =
+  Arg.(value & opt int Obda.default_plan_cache_capacity
+       & info [ "plan-cache" ] ~docv:"N"
+           ~doc:"Plan-cache capacity in entries ($(b,0) disables it).")
+
+let reform_cache_arg =
+  Arg.(value & opt int Reform.Perfectref.default_cache_capacity
+       & info [ "reform-cache" ] ~docv:"N"
+           ~doc:"Reformulation-cache capacity in entries ($(b,0) disables it).")
+
+let apply_caches plan_cap reform_cap =
+  Obda.set_plan_cache_capacity plan_cap;
+  Reform.Perfectref.set_cache_capacity reform_cap
+
+let cache_stats_arg =
+  Arg.(value & flag
+       & info [ "cache-stats" ]
+           ~doc:"Print plan- and reformulation-cache statistics after the run.")
+
+let print_cache_stats () =
+  Fmt.pr "%a@." Cache.Lru.pp_stats (Obda.plan_cache_stats ());
+  Fmt.pr "%a@." Cache.Lru.pp_stats (Reform.Perfectref.cache_stats ())
+
 let tbox_arg =
   Arg.(value & opt (some string) None
        & info [ "tbox" ] ~docv:"FILE"
@@ -92,7 +115,12 @@ let load_kb rdf tbox_file data facts seed =
     in
     let abox =
       match data with
-      | Some file -> Dllite.Abox.load file
+      | Some file -> (
+        match Dllite.Abox.load file with
+        | Ok abox -> abox
+        | Error e ->
+          Fmt.epr "obda-cli: %s: %a@." file Dllite.Abox.pp_parse_error e;
+          exit 1)
       | None -> Lubm.Generator.generate ~seed ~target_facts:facts ()
     in
     tbox, abox
@@ -153,8 +181,9 @@ let write_metrics = function
 
 let answer_cmd =
   let run facts seed data rdf tbox_file inline qname engine_kind layout strategy limit
-      jobs metrics =
+      jobs metrics plan_cap reform_cap cache_stats =
     apply_jobs jobs;
+    apply_caches plan_cap reform_cap;
     let tbox, abox = load_kb rdf tbox_file data facts seed in
     let engine = Obda.make_engine engine_kind layout abox in
     let q = find_query ~inline qname in
@@ -165,8 +194,10 @@ let answer_cmd =
     Fmt.pr "strategy   : %s@." (Obda.strategy_name o.Obda.strategy);
     Fmt.pr "cq count   : %d@." o.Obda.cq_count;
     Fmt.pr "sql bytes  : %d@." o.Obda.sql_bytes;
-    Fmt.pr "search time: %.1f ms@." (o.Obda.search_time *. 1000.);
+    Fmt.pr "search time: %.1f ms%s@." (o.Obda.search_time *. 1000.)
+      (if o.Obda.plan_cached then " (cached plan)" else "");
     Fmt.pr "eval time  : %.1f ms@." (o.Obda.eval_time *. 1000.);
+    if cache_stats then print_cache_stats ();
     match o.Obda.answers with
     | Error msg -> Fmt.pr "ERROR      : %s@." msg; exit 1
     | Ok answers ->
@@ -181,7 +212,8 @@ let answer_cmd =
     (Cmd.info "answer" ~doc:"Answer a workload query end to end.")
     Term.(const run $ facts_arg $ seed_arg $ data_arg $ rdf_arg $ tbox_arg
           $ query_string_arg $ query_arg $ engine_arg $ layout_arg $ strategy_arg
-          $ limit_arg $ jobs_arg $ metrics_arg)
+          $ limit_arg $ jobs_arg $ metrics_arg $ plan_cache_arg $ reform_cache_arg
+          $ cache_stats_arg)
 
 (* {1 explain} *)
 

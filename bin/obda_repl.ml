@@ -47,6 +47,10 @@ let help () =
   consistent                    check T-consistency
   saturate                      materialise entailed facts into the ABox
   views (on|off)                materialised fragment views
+  cache stats                   plan / reformulation / view cache statistics
+  cache plan N                  resize the plan cache (0 disables)
+  cache reform N                resize the reformulation cache (0 disables)
+  cache clear                   flush the plan and reformulation caches
   insert concept C a            assert C(a)
   insert role R a b             assert R(a,b)
   ask QUERY                     answer a CQ, e.g. ask q(?x) <- Person(?x)
@@ -78,12 +82,13 @@ let run_ask st text =
       answers;
     if List.length answers > st.limit then
       Printf.printf "  ... (%d more)\n" (List.length answers - st.limit);
-    Printf.printf "%d answers [%s, %s; %d cqs; search %.1f ms; eval %.1f ms]\n"
+    Printf.printf "%d answers [%s, %s; %d cqs; search %.1f ms%s; eval %.1f ms]\n"
       (List.length answers)
       (Obda.engine_name st.engine)
       (Obda.strategy_name st.strategy)
       o.Obda.cq_count
       (o.Obda.search_time *. 1000.)
+      (if o.Obda.plan_cached then ", cached plan" else "")
       (o.Obda.eval_time *. 1000.)
 
 let run_explain st text =
@@ -140,10 +145,13 @@ let handle st line =
   | [ "load"; "tbox"; file ] ->
     st.tbox <- Syntax.Tbox_text.load file;
     Printf.printf "loaded %d axioms\n" (Dllite.Tbox.axiom_count st.tbox)
-  | [ "load"; "data"; file ] ->
-    st.abox <- Dllite.Abox.load file;
-    rebuild st;
-    Fmt.pr "%a@." Dllite.Abox.pp_stats st.abox
+  | [ "load"; "data"; file ] -> (
+    match Dllite.Abox.load file with
+    | Ok abox ->
+      st.abox <- abox;
+      rebuild st;
+      Fmt.pr "%a@." Dllite.Abox.pp_stats st.abox
+    | Error e -> Fmt.pr "parse error: %s: %a@." file Dllite.Abox.pp_parse_error e)
   | [ "load"; "rdf"; file ] ->
     let kb = Rdf.Rdfs.load_kb file in
     st.tbox <- Dllite.Kb.tbox kb;
@@ -197,6 +205,19 @@ let handle st line =
   | [ "views"; "off" ] ->
     Obda.disable_fragment_views st.engine;
     print_endline "fragment views disabled"
+  | [ "cache"; "stats" ] ->
+    Fmt.pr "%a@." Cache.Lru.pp_stats (Obda.plan_cache_stats ());
+    Fmt.pr "%a@." Cache.Lru.pp_stats (Reform.Perfectref.cache_stats ())
+  | [ "cache"; "plan"; n ] ->
+    Obda.set_plan_cache_capacity (int_of_string n);
+    Printf.printf "plan cache capacity is now %s\n" n
+  | [ "cache"; "reform"; n ] ->
+    Reform.Perfectref.set_cache_capacity (int_of_string n);
+    Printf.printf "reformulation cache capacity is now %s\n" n
+  | [ "cache"; "clear" ] ->
+    Obda.clear_plan_cache ();
+    Reform.Perfectref.clear_cache ();
+    print_endline "plan and reformulation caches cleared"
   | [ "insert"; "concept"; c; a ] ->
     Printf.printf "%s\n"
       (if Obda.insert_concept st.engine ~concept:c ~ind:a then "inserted"

@@ -113,6 +113,14 @@ let fragment_query t gf =
 
 let fragment_queries t = List.map (fragment_query t) t.fragments
 
+(* Canonical structural rendering: fragments are kept sorted by
+   [of_gfragments] and [Iset.elements] is sorted, so equal covers have
+   equal keys; distinct covers differ in some index set and so in the
+   key. No pretty-printer is involved (a printer may elide). *)
+let structural_key t =
+  let set s = String.concat "," (List.map string_of_int (Iset.elements s)) in
+  String.concat ";" (List.map (fun { f; g } -> set f ^ "|" ^ set g) t.fragments)
+
 let mem_fragment t gf = List.exists (fun gf' -> compare_gfragment gf gf' = 0) t.fragments
 
 let remove_fragment fs gf = List.filter (fun gf' -> compare_gfragment gf gf' <> 0) fs
@@ -193,11 +201,7 @@ let enumerate ?(max_count = 20_000) tbox q =
   let results = ref [] and count = ref 0 in
   let seen = Hashtbl.create 256 in
   let record t =
-    let set_key s = String.concat "," (List.map string_of_int (Iset.elements s)) in
-    let key =
-      String.concat ";"
-        (List.map (fun { f; g } -> set_key f ^ "|" ^ set_key g) t.fragments)
-    in
+    let key = structural_key t in
     if not (Hashtbl.mem seen key) then begin
       Hashtbl.add seen key ();
       results := t :: !results;

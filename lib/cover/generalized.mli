@@ -78,4 +78,12 @@ val compare : t -> t -> int
 
 val equal : t -> t -> bool
 
+val structural_key : t -> string
+(** A canonical, injective rendering of the cover {e structure} (the
+    sorted [f]/[g] index sets of every fragment), independent of any
+    pretty-printer: ["f0|g0;f1|g1;…"] with indices comma-separated.
+    Two covers of the same query receive equal keys iff they are
+    {!equal} — safe as a memoisation key (unlike {!pp}, whose output
+    format may elide or change). *)
+
 val pp : Format.formatter -> t -> unit

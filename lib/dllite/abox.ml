@@ -124,19 +124,29 @@ let to_channel oc t =
         (role_pairs t name))
     (role_names t)
 
+type parse_error = {
+  line : int;
+  text : string;
+}
+
+let pp_parse_error ppf e = Fmt.pf ppf "line %d: malformed ABox line: %s" e.line e.text
+
 let of_channel ic =
   let t = create () in
+  let error = ref None in
+  let lineno = ref 0 in
   (try
-     while true do
+     while !error = None do
        let line = input_line ic in
+       incr lineno;
        if String.trim line <> "" then
          match String.split_on_char ' ' (String.trim line) with
          | [ "C"; concept; ind ] -> add_concept t ~concept ~ind
          | [ "R"; role; subj; obj ] -> add_role t ~role ~subj ~obj
-         | _ -> failwith ("Abox.of_channel: malformed line: " ^ line)
+         | _ -> error := Some { line = !lineno; text = line }
      done
    with End_of_file -> ());
-  t
+  match !error with Some e -> Error e | None -> Ok t
 
 let save t path =
   let oc = open_out path in
@@ -145,6 +155,11 @@ let save t path =
 let load path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)
+
+let load_exn path =
+  match load path with
+  | Ok t -> t
+  | Error e -> Fmt.failwith "%s: %a" path pp_parse_error e
 
 let pp_stats ppf t =
   Fmt.pf ppf

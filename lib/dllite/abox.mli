@@ -48,10 +48,23 @@ val to_channel : out_channel -> t -> unit
 (** Serialises the ABox as one assertion per line: [C <concept> <ind>]
     or [R <role> <subj> <obj>] (names must not contain blanks). *)
 
-val of_channel : in_channel -> t
-(** Reads the format written by {!to_channel}. Raises [Failure] on a
-    malformed line. *)
+type parse_error = {
+  line : int;  (** 1-based line number of the offending line *)
+  text : string;  (** the line as read *)
+}
+
+val pp_parse_error : Format.formatter -> parse_error -> unit
+
+val of_channel : in_channel -> (t, parse_error) result
+(** Reads the format written by {!to_channel}. A malformed line stops
+    the parse and is reported with its line number (no exception, no
+    partial ABox). *)
 
 val save : t -> string -> unit
 
-val load : string -> t
+val load : string -> (t, parse_error) result
+
+val load_exn : string -> t
+(** {!load}, raising [Failure "<path>: line <n>: ..."] on a malformed
+    line. For tests and scripts; interactive front ends should match
+    on {!load} and report cleanly. *)

@@ -1,6 +1,7 @@
 module String_set = Set.Make (String)
 
 type t = {
+  uid : int;
   axioms : Axiom.t list;
   concept_names : String_set.t;
   role_names : String_set.t;
@@ -16,6 +17,10 @@ type t = {
 }
 
 let dedup_axioms axs = List.sort_uniq Axiom.compare axs
+
+(* TBoxes are immutable once built; a process-unique stamp lets caches
+   key reformulations and plans by the TBox without hashing it. *)
+let next_uid = Atomic.make 0
 
 let collect_names axs =
   let add_concept (cs, rs) = function
@@ -161,6 +166,7 @@ let of_axioms raw =
     axioms;
   let tbox =
     {
+      uid = Atomic.fetch_and_add next_uid 1;
       axioms;
       concept_names;
       role_names;
@@ -211,6 +217,8 @@ let of_axioms raw =
   { tbox with unsat = !unsat }
 
 let empty = of_axioms []
+
+let uid t = t.uid
 
 let axioms t = t.axioms
 

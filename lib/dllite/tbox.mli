@@ -10,6 +10,12 @@ val of_axioms : Axiom.t list -> t
 
 val empty : t
 
+val uid : t -> int
+(** A process-unique stamp assigned at construction. TBoxes are
+    immutable, so the stamp identifies the constraint set for the
+    lifetime of the process — caches use it as the "TBox version"
+    component of their keys. *)
+
 val axioms : t -> Axiom.t list
 
 val positive_axioms : t -> Axiom.t list

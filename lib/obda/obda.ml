@@ -10,8 +10,12 @@ type engine = {
   profile : Rdbms.Explain.profile;
   layout : Rdbms.Layout.t;
   kind : engine_kind;
+  id : int;  (* process-unique, a component of plan-cache keys *)
+  mutable generation : int;  (* KB generation: bumped on every insert *)
   mutable views : Rdbms.Exec.view_store option;
 }
+
+let next_engine_id = Atomic.make 0
 
 let make_engine kind layout_kind abox =
   let profile =
@@ -24,27 +28,47 @@ let make_engine kind layout_kind abox =
     | `Simple -> Rdbms.Layout.simple_of_abox abox
     | `Rdf -> Rdbms.Layout.rdf_of_abox abox
   in
-  { profile; layout; kind; views = None }
+  {
+    profile;
+    layout;
+    kind;
+    id = Atomic.fetch_and_add next_engine_id 1;
+    generation = 0;
+    views = None;
+  }
+
+let generation e = e.generation
+
+(* An accepted insert advances the engine's KB generation: the view
+   store revalidates against the new stamp (dropping every stored
+   fragment — they may no longer reflect the data), and plan-cache
+   entries of older generations become unreachable through their keys
+   and age out of the LRU. *)
+let data_changed e =
+  e.generation <- e.generation + 1;
+  Option.iter (fun s -> Cache.Lru.set_version s e.generation) e.views
 
 let insert_concept e ~concept ~ind =
   let inserted = Rdbms.Layout.insert_concept e.layout ~concept ~ind in
-  if inserted then
-    (* stored fragments may no longer reflect the data *)
-    Option.iter Hashtbl.clear e.views;
+  if inserted then data_changed e;
   inserted
 
 let insert_role e ~role ~subj ~obj =
   let inserted = Rdbms.Layout.insert_role e.layout ~role ~subj ~obj in
-  if inserted then Option.iter Hashtbl.clear e.views;
+  if inserted then data_changed e;
   inserted
 
 let enable_fragment_views e =
-  if e.views = None then e.views <- Some (Rdbms.Exec.fresh_view_store ())
+  if e.views = None then begin
+    let store = Rdbms.Exec.fresh_view_store () in
+    Cache.Lru.set_version store e.generation;
+    e.views <- Some store
+  end
 
 let disable_fragment_views e = e.views <- None
 
 let fragment_view_count e =
-  match e.views with None -> 0 | Some store -> Hashtbl.length store
+  match e.views with None -> 0 | Some store -> Cache.Lru.length store
 
 let engine_name e =
   Printf.sprintf "%s/%s" e.profile.Rdbms.Explain.name (Rdbms.Layout.name e.layout)
@@ -84,6 +108,7 @@ type outcome = {
   sql_bytes : int;
   search_time : float;
   eval_time : float;
+  plan_cached : bool;
   answers : (string list list, string) Stdlib.result;
 }
 
@@ -96,17 +121,65 @@ let estimator e = function
     in
     Optimizer.Estimator.ext model e.layout
 
-let reformulate e tbox strategy q =
+(* One optimisation pass: the chosen reformulation, and the chosen
+   generalized cover for the strategies that search for one. *)
+let compute_plan e tbox strategy q =
   match strategy with
-  | Ucq -> Covers.Reformulate.ucq tbox q
-  | Uscq -> Reform.Uscq_reform.reformulate tbox q
+  | Ucq -> Covers.Reformulate.ucq tbox q, None
+  | Uscq -> Reform.Uscq_reform.reformulate tbox q, None
   | Croot ->
-    Covers.Reformulate.of_cover tbox (Covers.Safety.root_cover tbox q)
-  | Gdl src -> (Optimizer.Gdl.search tbox (estimator e src) q).Optimizer.Gdl.reformulation
+    Covers.Reformulate.of_cover tbox (Covers.Safety.root_cover tbox q), None
+  | Gdl src ->
+    let r = Optimizer.Gdl.search tbox (estimator e src) q in
+    r.Optimizer.Gdl.reformulation, Some r.Optimizer.Gdl.cover
   | Gdl_limited (src, budget) ->
-    (Optimizer.Gdl.search ~time_budget:budget tbox (estimator e src) q)
-      .Optimizer.Gdl.reformulation
-  | Edl src -> (Optimizer.Edl.search tbox (estimator e src) q).Optimizer.Edl.reformulation
+    let r = Optimizer.Gdl.search ~time_budget:budget tbox (estimator e src) q in
+    r.Optimizer.Gdl.reformulation, Some r.Optimizer.Gdl.cover
+  | Edl src ->
+    let r = Optimizer.Edl.search tbox (estimator e src) q in
+    r.Optimizer.Edl.reformulation, Some r.Optimizer.Edl.cover
+
+let reformulate e tbox strategy q = fst (compute_plan e tbox strategy q)
+
+type plan = {
+  p_reformulation : Query.Fol.t;
+  p_cover : Covers.Generalized.t option;
+}
+
+(* The plan cache: repeated queries skip PerfectRef and the EDL/GDL
+   cover search entirely. Keyed by engine id (cost estimates depend on
+   the engine's statistics), KB generation (stale-cost entries age
+   out after updates), TBox uid, strategy and the canonical form of
+   the query — so a plan is only ever replayed in exactly the context
+   that produced it. Reformulations are data-independent, which makes
+   replaying them answer-sound. *)
+let default_plan_cache_capacity = 256
+
+let plan_cache : (string, plan) Cache.Lru.t =
+  Cache.Lru.create
+    ~cost_of:(fun p -> Query.Fol.total_atoms p.p_reformulation * 128)
+    ~name:"plan" ~capacity:default_plan_cache_capacity ()
+
+let set_plan_cache_capacity n = Cache.Lru.set_capacity plan_cache n
+
+let plan_cache_stats () = Cache.Lru.stats plan_cache
+
+let clear_plan_cache () = Cache.Lru.clear plan_cache
+
+let plan_key e tbox strategy q =
+  Printf.sprintf "%d/%d/%d/%s/%s" e.id e.generation (Dllite.Tbox.uid tbox)
+    (strategy_name strategy)
+    (Query.Cq.to_string (Query.Cq.canonicalize q))
+
+let plan_for e tbox strategy q =
+  let key = plan_key e tbox strategy q in
+  match Cache.Lru.find plan_cache key with
+  | Some p -> p, true
+  | None ->
+    let fol, cover = compute_plan e tbox strategy q in
+    ( Cache.Lru.add_if_absent plan_cache key
+        { p_reformulation = fol; p_cover = cover },
+      false )
 
 let m_queries =
   Obs.Metrics.counter ~help:"end-to-end queries answered" "obda.queries"
@@ -122,13 +195,17 @@ let m_total_ms =
   Obs.Metrics.histogram
     ~help:"end-to-end query latency, search + SQL + eval (ms)" "obda.total_ms"
 
+let seconds_since t0 = Int64.to_float (Obs.Mclock.elapsed_ns ~since:t0) /. 1e9
+
 let answer e tbox strategy q =
-  let t0 = Unix.gettimeofday () in
-  let reformulation = reformulate e tbox strategy q in
-  let search_time = Unix.gettimeofday () -. t0 in
+  let t0 = Obs.Mclock.now_ns () in
+  let { p_reformulation = reformulation; _ }, plan_cached =
+    plan_for e tbox strategy q
+  in
+  let search_time = seconds_since t0 in
   let sql = lazy (Sql.Sql_ast.to_string (Sql.Sql_gen.of_fol e.layout reformulation)) in
   let sql_bytes = String.length (Lazy.force sql) in
-  let t1 = Unix.gettimeofday () in
+  let t1 = Obs.Mclock.now_ns () in
   let answers =
     match e.profile.Rdbms.Explain.max_sql_bytes with
     | Some limit when sql_bytes > limit ->
@@ -143,11 +220,11 @@ let answer e tbox strategy q =
         (Rdbms.Exec.answers ~config:e.profile.Rdbms.Explain.exec_config
            ?views:e.views e.layout plan)
   in
-  let eval_time = Unix.gettimeofday () -. t1 in
+  let eval_time = seconds_since t1 in
   Obs.Metrics.incr m_queries;
   Obs.Metrics.observe m_search_ms (search_time *. 1000.);
   Obs.Metrics.observe m_eval_ms (eval_time *. 1000.);
-  Obs.Metrics.observe m_total_ms ((Unix.gettimeofday () -. t0) *. 1000.);
+  Obs.Metrics.observe m_total_ms (seconds_since t0 *. 1000.);
   {
     strategy;
     reformulation;
@@ -156,6 +233,7 @@ let answer e tbox strategy q =
     sql_bytes;
     search_time;
     eval_time;
+    plan_cached;
     answers;
   }
 

@@ -49,6 +49,9 @@ type outcome = {
   sql_bytes : int;
   search_time : float;  (** seconds spent choosing the reformulation *)
   eval_time : float;  (** seconds spent evaluating it *)
+  plan_cached : bool;
+      (** the reformulation came from the plan cache — no PerfectRef
+          call and no cover search ran for this query *)
   answers : (string list list, string) Stdlib.result;
       (** sorted certain answers, or the engine error (e.g. the
           statement-size rejection DB2 raises on the RDF layout) *)
@@ -59,7 +62,10 @@ val reformulate : engine -> Dllite.Tbox.t -> strategy -> Query.Cq.t -> Query.Fol
 
 val answer : engine -> Dllite.Tbox.t -> strategy -> Query.Cq.t -> outcome
 (** The full pipeline: reformulate, translate to SQL, check engine
-    limits, evaluate, decode. *)
+    limits, evaluate, decode. The optimisation step goes through the
+    {{!section-plan_cache}plan cache}: a repeated query (same engine,
+    KB generation, TBox and strategy, equal canonical form) replays
+    the memoised reformulation instead of searching again. *)
 
 val answers_exn : engine -> Dllite.Tbox.t -> strategy -> Query.Cq.t -> string list list
 (** Convenience: the answers of {!answer}, raising [Failure] on engine
@@ -82,14 +88,39 @@ val insert_concept : engine -> concept:string -> ind:string -> bool
 
 val insert_role : engine -> role:string -> subj:string -> obj:string -> bool
 
+val generation : engine -> int
+(** The engine's KB generation: starts at [0], advances on every
+    accepted insert. Plan-cache keys and the view store's version
+    stamp both carry it, so neither cache can serve state computed
+    against older data. *)
+
+(** {2:plan_cache Plan cache}
+
+    A process-wide bounded LRU memoising the outcome of the
+    optimisation step — the chosen cover and compiled reformulation —
+    keyed by (engine, KB generation, TBox version, strategy, canonical
+    query). Repeated-query traffic skips PerfectRef and the EDL/GDL
+    cover search entirely; reformulations are data-independent, so a
+    replayed plan returns the same answers as a fresh search. *)
+
+val default_plan_cache_capacity : int
+
+val set_plan_cache_capacity : int -> unit
+(** Resizes the plan cache; [<= 0] disables it. *)
+
+val plan_cache_stats : unit -> Cache.Lru.stats
+
+val clear_plan_cache : unit -> unit
+
 (** {2 Materialised fragment views}
 
     The paper's §7 future-work extension: reformulated fragment queries
     ([WITH] subqueries) are materialised anyway — keeping them in a
     view store shared across queries lets later queries that
     materialise the same fragment against the same data reuse the
-    stored result. Only sound while the underlying ABox is unchanged
-    (engines are loaded once and immutable here). *)
+    stored result. The store is a bounded {!Cache.Lru} versioned by
+    the engine's KB generation: an insert flushes it, so a stale
+    fragment is never served. *)
 
 val enable_fragment_views : engine -> unit
 (** Start sharing materialised fragments across subsequent

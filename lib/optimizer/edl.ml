@@ -18,7 +18,9 @@ let m_examined =
 
 let search ?(max_covers = 20_000) ?(language = Reformulate.Ucq_fragments) ?jobs
     tbox estimator q =
-  let t0 = Unix.gettimeofday () in
+  (* Monotonic clock: wall clock can step backwards under NTP and
+     report a negative search_time. *)
+  let t0 = Obs.Mclock.now_ns () in
   Obs.Metrics.incr m_searches;
   let covers = Generalized.enumerate ~max_count:max_covers tbox q in
   let examined = List.length covers in
@@ -64,5 +66,5 @@ let search ?(max_covers = 20_000) ?(language = Reformulate.Ucq_fragments) ?jobs
       est_cost;
       covers_examined = examined;
       capped = examined >= max_covers;
-      search_time = Unix.gettimeofday () -. t0;
+      search_time = Int64.to_float (Obs.Mclock.elapsed_ns ~since:t0) /. 1e9;
     }

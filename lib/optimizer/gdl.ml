@@ -21,7 +21,7 @@ type search_state = {
   mutable total_seen : int;
   mutable cost_seconds : float;
   mutable step : int;  (** current move number, for trace events *)
-  deadline : float option;
+  deadline : int64 option;  (** absolute monotonic ns ({!Obs.Mclock}) *)
 }
 
 let m_searches = Obs.Metrics.counter ~help:"GDL searches run" "gdl.searches"
@@ -38,21 +38,30 @@ let m_pruned =
 
 let m_moves = Obs.Metrics.counter ~help:"GDL moves accepted" "gdl.moves"
 
-let cover_key cover = Fmt.str "%a" Generalized.pp cover
+(* Covers memoise under their canonical structural key, not a
+   pretty-printed form: a printer may truncate or elide, and a key
+   collision would silently reuse another cover's cost and
+   reformulation. *)
+let cover_key = Generalized.structural_key
+
+(* Deadlines and timings run on the monotonic clock: wall-clock
+   ([Unix.gettimeofday]) can jump under NTP adjustment, firing or
+   starving a time-limited search and producing negative timings. *)
+let seconds_since t0 = Int64.to_float (Obs.Mclock.elapsed_ns ~since:t0) /. 1e9
 
 let out_of_time st =
   match st.deadline with
   | None -> false
-  | Some d -> Unix.gettimeofday () > d
+  | Some d -> Int64.compare (Obs.Mclock.now_ns ()) d > 0
 
 (* Reformulate and estimate one cover: touches no search state, so a
    batch of these can fan out on the domain pool. The elapsed time is
    returned for the sequential merge to accumulate. *)
 let score st cover =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Mclock.now_ns () in
   let fol = Reformulate.of_generalized ~language:st.language st.tbox cover in
   let c = st.estimator.Estimator.estimate fol in
-  c, fol, Unix.gettimeofday () -. t0
+  c, fol, seconds_since t0
 
 (* Always called sequentially (in candidate order after a parallel
    scoring batch), so the Candidate trace stream is deterministic. *)
@@ -145,7 +154,7 @@ let candidate_moves ?(space = `Gq) cover =
 
 let search ?time_budget ?(space = `Gq) ?(language = Reformulate.Ucq_fragments) ?jobs
     tbox estimator q =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Mclock.now_ns () in
   Obs.Metrics.incr m_searches;
   let st =
     {
@@ -157,7 +166,10 @@ let search ?time_budget ?(space = `Gq) ?(language = Reformulate.Ucq_fragments) ?
       total_seen = 0;
       cost_seconds = 0.;
       step = 0;
-      deadline = Option.map (fun b -> t0 +. b) time_budget;
+      deadline =
+        Option.map
+          (fun b -> Int64.add t0 (Int64.of_float (b *. 1e9)))
+          time_budget;
     }
   in
   let start = Generalized.of_cover (Safety.root_cover tbox q) in
@@ -214,7 +226,7 @@ let search ?time_budget ?(space = `Gq) ?(language = Reformulate.Ucq_fragments) ?
     explored_simple = st.simple_seen;
     explored_total = st.total_seen;
     moves;
-    search_time = Unix.gettimeofday () -. t0;
+    search_time = seconds_since t0;
     cost_time = st.cost_seconds;
     timed_out;
   }

@@ -19,7 +19,11 @@ let of_cq cq = Leaf { out = cq.Cq.head; ucq = Ucq.of_cq cq }
 
 let of_ucq ucq =
   match Ucq.disjuncts ucq with
-  | [] -> assert false
+  | [] ->
+    (* [Ucq.make] rejects empty unions, but an unsatisfiable fragment
+       reformulation could hand us a hollow value through unsafe
+       construction; fail loudly rather than with [assert false]. *)
+    invalid_arg "Fol.of_ucq: empty UCQ (unsatisfiable fragment?)"
   | first :: _ -> Leaf { out = first.Cq.head; ucq }
 
 let out_vars t =

@@ -22,7 +22,10 @@ val leaf : out:Term.t list -> Ucq.t -> t
 val of_cq : Cq.t -> t
 
 val of_ucq : Ucq.t -> t
-(** Uses the head of the first disjunct as nominal output. *)
+(** Uses the head of the first disjunct as nominal output. Raises
+    [Invalid_argument] on a UCQ with no disjuncts (which {!Ucq.make}
+    cannot build, but an unsatisfiable-fragment reformulation path
+    must not crash the process with an assertion failure). *)
 
 val join : out:Term.t list -> t list -> t
 (** Raises [Invalid_argument] when some variable of [out] appears in no

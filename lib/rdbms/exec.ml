@@ -53,34 +53,43 @@ let fresh_counters () =
     build_hits = Atomic.make 0;
   }
 
-type view_store = (string, Relation.t) Hashtbl.t
+(* Rough byte footprint of a stored relation: one machine word per
+   cell plus per-row array overhead. Only used as an LRU cost
+   estimate. *)
+let relation_cost rel =
+  ((Array.length rel.Relation.cols * 8) + 24) * Relation.cardinality rel + 64
 
-let fresh_view_store () : view_store = Hashtbl.create 64
+type view_store = (string, Relation.t) Cache.Lru.t
 
-(* The view store is shared across queries (and so across any two
-   concurrently evaluating plans); one module-level mutex guards it. *)
-let views_lock = Mutex.create ()
+let default_view_capacity = 256
+
+let fresh_view_store ?(capacity = default_view_capacity) () : view_store =
+  Cache.Lru.create ~cost_of:relation_cost ~name:"views" ~capacity ()
+
+(* The per-run scan/build caches are bounded too, with a capacity
+   generous enough that all arms of one reformulated union share their
+   scans — the bound only matters as a memory backstop on adversarial
+   plans. *)
+let default_run_cache_capacity = 4096
+
+let run_cache_capacity = Atomic.make default_run_cache_capacity
+
+let set_run_cache_capacity n = Atomic.set run_cache_capacity n
 
 type ctx = {
   layout : Layout.t;
   config : config;
   counters : counters;
-  lock : Mutex.t;  (* guards [scans] and [builds] below *)
-  scans : (string, Relation.t) Hashtbl.t;  (* canonical scan results *)
-  builds : (string, Relation.build_table) Hashtbl.t;
+  scans : (string, Relation.t) Cache.Lru.t;  (* canonical scan results *)
+  builds : (string, Relation.build_table) Cache.Lru.t;
   views : view_store option;  (* cross-query materialised fragments *)
   jobs : int;  (* parallelism for union arms; 1 = sequential *)
 }
 
-let locked lock f =
-  Mutex.lock lock;
-  match f () with
-  | v ->
-    Mutex.unlock lock;
-    v
-  | exception e ->
-    Mutex.unlock lock;
-    raise e
+let fresh_run_caches () =
+  let capacity = Atomic.get run_cache_capacity in
+  ( Cache.Lru.create ~cost_of:relation_cost ~name:"exec.scan" ~capacity (),
+    Cache.Lru.create ~name:"exec.build" ~capacity () )
 
 (* A scan signature independent of variable names, so that R(x,y) in
    one union arm and R(u,v) in another share the same cached result. *)
@@ -155,18 +164,16 @@ type cache_outcome =
   | Miss
   | Uncached
 
-(* Cache protocol under parallelism: the table lookup and insert hold
-   the ctx mutex, the scan itself does not — two arms missing on the
-   same signature recompute the same canonical relation and the last
-   writer wins (idempotent). Each request bumps exactly one counter. *)
+(* Cache protocol under parallelism: [Cache.Lru] locks internally for
+   the lookup and insert, the scan itself runs outside any lock — two
+   arms missing on the same signature recompute the same canonical
+   relation and the last writer wins (idempotent). Each request bumps
+   exactly one counter. *)
 let scan_cached ctx atom =
   let signature = scan_signature atom in
   let use_cache = ctx.config.scan_cache && cacheable ctx atom in
   Obs.Metrics.incr m_scan_requests;
-  match
-    if use_cache then locked ctx.lock (fun () -> Hashtbl.find_opt ctx.scans signature)
-    else None
-  with
+  match if use_cache then Cache.Lru.find ctx.scans signature else None with
   | Some r ->
     Atomic.incr ctx.counters.scan_hits;
     Obs.Metrics.incr m_scan_hits;
@@ -174,8 +181,7 @@ let scan_cached ctx atom =
   | None ->
     Atomic.incr ctx.counters.scans;
     let r = scan_canonical ctx atom in
-    if use_cache then
-      locked ctx.lock (fun () -> Hashtbl.replace ctx.scans signature r);
+    if use_cache then Cache.Lru.add ctx.scans signature r;
     r, (if use_cache then Miss else Uncached)
 
 let scan ctx atom =
@@ -213,10 +219,7 @@ let eval_join_cached ctx left_rel atom on =
   let use_cache = cacheable ctx atom in
   Obs.Metrics.incr m_build_requests;
   let build, outcome =
-    match
-      if use_cache then locked ctx.lock (fun () -> Hashtbl.find_opt ctx.builds key)
-      else None
-    with
+    match if use_cache then Cache.Lru.find ctx.builds key else None with
     | Some b ->
       Atomic.incr ctx.counters.build_hits;
       Obs.Metrics.incr m_build_hits;
@@ -226,7 +229,7 @@ let eval_join_cached ctx left_rel atom on =
       let canonical, _ = scan_cached ctx atom in
       let canonical_on = List.map (fun p -> "$" ^ string_of_int p) positions in
       let b = Relation.build canonical ~on:canonical_on in
-      if use_cache then locked ctx.lock (fun () -> Hashtbl.replace ctx.builds key b);
+      if use_cache then Cache.Lru.add ctx.builds key b;
       b, (if use_cache then Miss else Uncached)
   in
   ( rename_payload actual_cols (Relation.probe ~left:left_rel ~right_build:build ~on),
@@ -338,17 +341,12 @@ let rec eval ctx plan =
     | None -> eval ctx p
     | Some store -> (
       let key = Fmt.str "%a" Plan.pp p in
-      match locked views_lock (fun () -> Hashtbl.find_opt store key) with
+      match Cache.Lru.find store key with
       | Some rel -> rel
       | None ->
         let rel = eval ctx p in
-        locked views_lock (fun () ->
-            (* keep the first stored copy if a sibling arm won the race *)
-            match Hashtbl.find_opt store key with
-            | Some existing -> existing
-            | None ->
-              Hashtbl.replace store key rel;
-              rel)))
+        (* keep the first stored copy if a sibling arm won the race *)
+        Cache.Lru.add_if_absent store key rel))
 
 (* {2 Instrumented (EXPLAIN ANALYZE) evaluation}
 
@@ -427,57 +425,26 @@ let rec eval_analyzed ctx plan =
       finish r [ rs ]
     | Some store -> (
       let key = Fmt.str "%a" Plan.pp p in
-      match locked views_lock (fun () -> Hashtbl.find_opt store key) with
+      match Cache.Lru.find store key with
       | Some rel -> finish ~cache:Hit rel []
       | None ->
         let rel, rs = eval_analyzed ctx p in
-        let rel =
-          locked views_lock (fun () ->
-              match Hashtbl.find_opt store key with
-              | Some existing -> existing
-              | None ->
-                Hashtbl.replace store key rel;
-                rel)
-        in
+        let rel = Cache.Lru.add_if_absent store key rel in
         finish ~cache:Miss rel [ rs ]))
 
-let run ?(config = postgres_like) ?counters ?views ?jobs layout plan =
+let make_ctx config counters views jobs layout =
   let counters = Option.value ~default:(fresh_counters ()) counters in
   let jobs =
     match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
   in
-  let ctx =
-    {
-      layout;
-      config;
-      counters;
-      lock = Mutex.create ();
-      scans = Hashtbl.create 64;
-      builds = Hashtbl.create 64;
-      views;
-      jobs;
-    }
-  in
-  eval ctx plan
+  let scans, builds = fresh_run_caches () in
+  { layout; config; counters; scans; builds; views; jobs }
+
+let run ?(config = postgres_like) ?counters ?views ?jobs layout plan =
+  eval (make_ctx config counters views jobs layout) plan
 
 let run_analyzed ?(config = postgres_like) ?counters ?views ?jobs layout plan =
-  let counters = Option.value ~default:(fresh_counters ()) counters in
-  let jobs =
-    match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
-  in
-  let ctx =
-    {
-      layout;
-      config;
-      counters;
-      lock = Mutex.create ();
-      scans = Hashtbl.create 64;
-      builds = Hashtbl.create 64;
-      views;
-      jobs;
-    }
-  in
-  eval_analyzed ctx plan
+  eval_analyzed (make_ctx config counters views jobs layout) plan
 
 let answers ?config ?views ?jobs layout plan =
   let rel = Relation.distinct (run ?config ?views ?jobs layout plan) in

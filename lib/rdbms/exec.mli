@@ -10,7 +10,8 @@
     {!Parallel.default_jobs}); arm results merge positionally in input
     order, so answers are identical at any job count, and [jobs = 1]
     never touches the pool. The scan/build caches are shared across
-    arms under a mutex; the counters are atomic. *)
+    arms (bounded {!Cache.Lru} instances, internally locked); the
+    counters are atomic. *)
 
 type config = {
   scan_cache : bool;  (** share identical atom scans within one query *)
@@ -36,14 +37,29 @@ type counters = {
     count; under parallelism two arms may both miss on a signature,
     shifting a hit into a performed scan, but the total is stable. *)
 
-type view_store = (string, Relation.t) Hashtbl.t
+type view_store = (string, Relation.t) Cache.Lru.t
 (** Materialised fragment views (the paper's §7 future-work extension):
-    a store shared {e across} query executions. Every [Materialize]
-    node's result is keyed by its plan text and reused verbatim on the
-    next query that materialises the same fragment against the same
-    data. The store must be discarded if the underlying data changes. *)
+    a bounded LRU shared {e across} query executions. Every
+    [Materialize] node's result is keyed by its plan text and reused
+    verbatim on the next query that materialises the same fragment
+    against the same data. The store must be flushed
+    ({!Cache.Lru.set_version} with the new KB generation, or
+    {!Cache.Lru.clear}) if the underlying data changes. *)
 
-val fresh_view_store : unit -> view_store
+val default_view_capacity : int
+
+val fresh_view_store : ?capacity:int -> unit -> view_store
+(** A fresh store, bounded by entry count (default
+    {!default_view_capacity}) and costed by approximate relation
+    bytes. *)
+
+val default_run_cache_capacity : int
+
+val set_run_cache_capacity : int -> unit
+(** Bounds the per-run scan and build-table caches of subsequent
+    {!run} calls (default {!default_run_cache_capacity}, generous
+    enough that all arms of one reformulated union share; [<= 0]
+    disables sharing entirely). *)
 
 val run :
   ?config:config ->

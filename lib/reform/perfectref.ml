@@ -115,49 +115,35 @@ let reformulate_raw tbox q =
 
 let reformulate tbox q = Ucq.minimize (reformulate_raw tbox q)
 
-(* Per-TBox memoisation, keyed on the physical identity of the TBox
-   (a handful per process) and the canonical rendering of the query.
-   The cache list and tables are shared across domains (fragment
-   reformulation fans out during cover search), so every access holds
-   [caches_lock]; the reformulation itself runs outside the lock, and
-   two domains missing on the same key simply compute the same UCQ
-   twice, with the first writer winning. *)
-let caches : (Dllite.Tbox.t * (string, Ucq.t) Hashtbl.t) list ref = ref []
+(* One bounded LRU for every TBox, keyed on the TBox uid stamp plus
+   the rendering of the query — uids make entries from dead TBoxes
+   unreachable, and the LRU bound reclaims them under pressure. The
+   cache is shared across domains (fragment reformulation fans out
+   during cover search); [Cache.Lru] locks internally, the
+   reformulation itself runs outside the lock, and two domains missing
+   on the same key simply compute the same UCQ twice, with the first
+   writer winning ({!Cache.Lru.add_if_absent}). *)
+let default_cache_capacity = 1024
 
-let caches_lock = Mutex.create ()
+let cache : (string, Ucq.t) Cache.Lru.t =
+  Cache.Lru.create
+    ~cost_of:(fun u -> Ucq.total_atoms u * 64)
+    ~name:"reform" ~capacity:default_cache_capacity ()
 
-let with_caches f =
-  Mutex.lock caches_lock;
-  match f () with
-  | v ->
-    Mutex.unlock caches_lock;
-    v
-  | exception e ->
-    Mutex.unlock caches_lock;
-    raise e
+let set_cache_capacity n = Cache.Lru.set_capacity cache n
 
-let cache_for tbox =
-  match List.find_opt (fun (t, _) -> t == tbox) !caches with
-  | Some (_, h) -> h
-  | None ->
-    let h = Hashtbl.create 512 in
-    caches := (tbox, h) :: !caches;
-    if List.length !caches > 16 then
-      caches := List.filteri (fun i _ -> i < 16) !caches;
-    h
+let cache_stats () = Cache.Lru.stats cache
+
+let clear_cache () = Cache.Lru.clear cache
+
+let cache_key tbox q =
+  string_of_int (Dllite.Tbox.uid tbox) ^ "/" ^ Cq.to_string q
 
 let reformulate_cached tbox q =
-  let key = Cq.to_string q in
-  let h, hit = with_caches (fun () ->
-      let h = cache_for tbox in
-      h, Hashtbl.find_opt h key)
-  in
   Obs.Metrics.incr m_cache_requests;
-  match hit with
+  let key = cache_key tbox q in
+  match Cache.Lru.find cache key with
   | Some u ->
     Obs.Metrics.incr m_cache_hits;
     u
-  | None ->
-    let u = reformulate tbox q in
-    with_caches (fun () -> if not (Hashtbl.mem h key) then Hashtbl.add h key u);
-    u
+  | None -> Cache.Lru.add_if_absent cache key (reformulate tbox q)

@@ -26,7 +26,17 @@ val reformulate : Dllite.Tbox.t -> Query.Cq.t -> Query.Ucq.t
     UCQ reformulation. *)
 
 val reformulate_cached : Dllite.Tbox.t -> Query.Cq.t -> Query.Ucq.t
-(** Same as {!reformulate}, with memoisation keyed on the canonical
-    form of the query — the cover-search algorithms reformulate the
-    same fragment queries repeatedly. The cache is per-TBox (weakly
-    keyed on physical identity). *)
+(** Same as {!reformulate}, with memoisation keyed on
+    [Dllite.Tbox.uid] and the rendering of the query — the
+    cover-search algorithms reformulate the same fragment queries
+    repeatedly. The cache is a bounded, process-wide
+    {!Cache.Lru} (default capacity {!default_cache_capacity}). *)
+
+val default_cache_capacity : int
+
+val set_cache_capacity : int -> unit
+(** Resizes the reformulation cache; [<= 0] disables it. *)
+
+val cache_stats : unit -> Cache.Lru.stats
+
+val clear_cache : unit -> unit

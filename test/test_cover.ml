@@ -309,8 +309,34 @@ let test_generalized_degenerates_to_simple () =
     then Alcotest.failf "Def 7 does not degenerate to Def 2 on %a" Query.Cq.pp q
   done
 
+(* Regression for the GDL memo key: [structural_key] must separate
+   every pair of distinct covers (a collision would silently reuse
+   another cover's cost and reformulation during the search) and agree
+   with {!Generalized.equal} on equal ones. Checked exhaustively over
+   the enumerated Gq space of the example queries. *)
+let test_structural_key_injective () =
+  List.iter
+    (fun (tbox, q) ->
+      let covers = Generalized.enumerate tbox q in
+      check_bool "space non-trivial" true (List.length covers >= 2);
+      List.iter
+        (fun c1 ->
+          List.iter
+            (fun c2 ->
+              let keys_equal =
+                Generalized.structural_key c1 = Generalized.structural_key c2
+              in
+              if keys_equal <> Generalized.equal c1 c2 then
+                Alcotest.failf "structural_key %s on %a vs %a"
+                  (if keys_equal then "collides" else "splits equals")
+                  Generalized.pp c1 Generalized.pp c2)
+            covers)
+        covers)
+    [ example7_tbox, example7_query; example7_tbox, example5_query ]
+
 let suite =
   [
+    Alcotest.test_case "structural key injective" `Quick test_structural_key_injective;
     Alcotest.test_case "fragment head definition" `Slow test_fragment_head_definition;
     Alcotest.test_case "generalized degenerates" `Slow test_generalized_degenerates_to_simple;
     Alcotest.test_case "example 5 cover" `Quick test_example5_cover;

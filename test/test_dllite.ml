@@ -272,7 +272,7 @@ let test_abox_roundtrip () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Abox.save abox path;
-      let loaded = Abox.load path in
+      let loaded = Abox.load_exn path in
       check_int "same size" (Abox.size abox) (Abox.size loaded);
       Alcotest.(check (list string))
         "same roles" (Abox.role_names abox) (Abox.role_names loaded);
@@ -289,6 +289,32 @@ let test_abox_roundtrip () =
           Alcotest.(check (list (pair string string)))
             ("role " ^ r) (decoded abox r) (decoded loaded r))
         (Abox.role_names abox))
+
+(* Regression: a malformed line used to crash the process with a bare
+   [Failure]; the parser now reports the offending line number and the
+   CLI turns it into a clean error. *)
+let test_abox_malformed_line () =
+  let path = Filename.temp_file "abox" ".facts" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "C Person alice\nR worksFor alice\nC Person bob\n";
+      close_out oc;
+      (match Abox.load path with
+      | Ok _ -> Alcotest.fail "malformed ABox accepted"
+      | Error e ->
+        check_int "error carries the line number" 2 e.Abox.line;
+        Alcotest.(check string) "error carries the text" "R worksFor alice"
+          e.Abox.text;
+        Alcotest.(check string) "rendered error"
+          "line 2: malformed ABox line: R worksFor alice"
+          (Fmt.str "%a" Abox.pp_parse_error e));
+      match Abox.load_exn path with
+      | _ -> Alcotest.fail "load_exn did not raise"
+      | exception Failure msg ->
+        Alcotest.(check bool) "load_exn names the file" true
+          (String.length msg > 0))
 
 (* {1 Saturation (materialisation baseline)} *)
 
@@ -354,6 +380,7 @@ let suite =
     Alcotest.test_case "dep properties" `Slow test_dep_properties;
     Alcotest.test_case "subsumees/subsumers" `Quick test_subsumees_subsumers_inverse;
     Alcotest.test_case "abox roundtrip" `Quick test_abox_roundtrip;
+    Alcotest.test_case "abox malformed line" `Quick test_abox_malformed_line;
     Alcotest.test_case "saturation basic" `Quick test_saturation_basic;
     Alcotest.test_case "saturation incomplete" `Quick test_saturation_sound_but_incomplete;
     Alcotest.test_case "saturation exact (random)" `Slow

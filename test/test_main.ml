@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "obda"
     [
+      "cache", Test_cache.suite;
       "query", Test_query.suite;
       "dllite", Test_dllite.suite;
       "reform", Test_reform.suite;

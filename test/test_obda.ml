@@ -164,6 +164,78 @@ let test_updates_invalidate_views () =
   let answers = Obda.answers_exn engine example7_tbox Obda.Croot example7_query in
   check_bool "new answer after second insert" true (List.mem [ "Eve" ] answers)
 
+(* {1 Plan cache} *)
+
+let answers_of o =
+  match o.Obda.answers with Ok a -> a | Error e -> Alcotest.fail e
+
+(* A repeated query must hit the plan cache — identical answers, the
+   outcome flagged as cached, and no new optimizer search: the trace
+   sink stays silent on the warm call. *)
+let test_plan_cache_hit () =
+  Obda.clear_plan_cache ();
+  let engine = Obda.make_engine `Pglite `Simple (example7_abox ()) in
+  let strategy = Obda.Gdl Obda.Ext_cost in
+  let cold = Obda.answer engine example7_tbox strategy example7_query in
+  check_bool "cold call computes" false cold.Obda.plan_cached;
+  let warm, events =
+    Obs.Trace.record (fun () ->
+        Obda.answer engine example7_tbox strategy example7_query)
+  in
+  check_bool "warm call served from plan cache" true warm.Obda.plan_cached;
+  check_bool "answers identical" true (answers_of cold = answers_of warm);
+  Alcotest.(check int) "no search events on the warm call" 0 (List.length events);
+  let s = Obda.plan_cache_stats () in
+  check_bool "hit visible in stats" true (s.Cache.Lru.hits > 0)
+
+(* Updating the data bumps the engine generation: cached plans keyed
+   on the old generation become unreachable and the next call
+   recomputes, seeing the new fact. *)
+let test_plan_cache_invalidation () =
+  Obda.clear_plan_cache ();
+  let engine = Obda.make_engine `Pglite `Simple (example7_abox ()) in
+  let strategy = Obda.Gdl Obda.Ext_cost in
+  let g0 = Obda.generation engine in
+  let before = Obda.answer engine example7_tbox strategy example7_query in
+  check_bool "warms the cache" true
+    (Obda.answer engine example7_tbox strategy example7_query).Obda.plan_cached;
+  ignore (Obda.insert_concept engine ~concept:"PhDStudent" ~ind:"Eve");
+  ignore (Obda.insert_concept engine ~concept:"Graduate" ~ind:"Eve");
+  check_bool "generation bumped" true (Obda.generation engine > g0);
+  let after = Obda.answer engine example7_tbox strategy example7_query in
+  check_bool "stale plan not served" false after.Obda.plan_cached;
+  check_bool "pre-update answers not replayed" true
+    (answers_of before <> answers_of after);
+  check_bool "new fact visible" true (List.mem [ "Eve" ] (answers_of after))
+
+(* Under eviction pressure (capacity 1, two queries round-robin) the
+   plan cache must stay answer-equivalent to uncached evaluation. *)
+let test_plan_cache_eviction_equivalence () =
+  Obda.clear_plan_cache ();
+  Obda.set_plan_cache_capacity 1;
+  Fun.protect
+    ~finally:(fun () ->
+      Obda.set_plan_cache_capacity Obda.default_plan_cache_capacity;
+      Obda.clear_plan_cache ())
+    (fun () ->
+      let engine = Obda.make_engine `Pglite `Simple (example1_abox ()) in
+      let q2 =
+        Query.Cq.make ~head:[ v "x" ]
+          ~body:[ ra "supervisedBy" (v "x") (v "y") ] ()
+      in
+      let expect3 = Obda.answers_exn engine example1_tbox Obda.Ucq example3_query in
+      let expect2 = Obda.answers_exn engine example1_tbox Obda.Ucq q2 in
+      for _ = 1 to 3 do
+        Alcotest.(check (list (list string)))
+          "q3 stable under eviction" expect3
+          (answers_of (Obda.answer engine example1_tbox Obda.Ucq example3_query));
+        Alcotest.(check (list (list string)))
+          "q2 stable under eviction" expect2
+          (answers_of (Obda.answer engine example1_tbox Obda.Ucq q2))
+      done;
+      check_bool "evictions happened" true
+        ((Obda.plan_cache_stats ()).Cache.Lru.evictions > 0))
+
 let test_inconsistent_kb_detected () =
   (* The paper's framework assumes a T-consistent ABox; the library
      exposes the consistency check to enforce the precondition. *)
@@ -184,5 +256,9 @@ let suite =
     Alcotest.test_case "fragment views workload" `Slow test_fragment_views_workload;
     Alcotest.test_case "incremental updates" `Quick test_incremental_updates;
     Alcotest.test_case "updates invalidate views" `Quick test_updates_invalidate_views;
+    Alcotest.test_case "plan cache hit" `Quick test_plan_cache_hit;
+    Alcotest.test_case "plan cache invalidation" `Quick test_plan_cache_invalidation;
+    Alcotest.test_case "plan cache eviction equivalence" `Quick
+      test_plan_cache_eviction_equivalence;
     Alcotest.test_case "inconsistent kb detected" `Quick test_inconsistent_kb_detected;
   ]

@@ -57,6 +57,26 @@ let test_gdl_time_limited () =
     "still correct answers" [ [ "Damian" ] ]
     (eval_fol (example7_abox ()) r2.Optimizer.Gdl.reformulation)
 
+(* Regression: search deadlines and timings run on the monotonic
+   clock ({!Obs.Mclock}); reported times must never be negative, and a
+   zero budget must report a timeout rather than looping or going
+   negative under a clock step. *)
+let test_monotonic_times () =
+  let layout = pg_engine (example7_abox ()) in
+  let est = ext_estimator layout in
+  let g = Optimizer.Gdl.search example7_tbox est example7_query in
+  check_bool "gdl search_time >= 0" true (g.Optimizer.Gdl.search_time >= 0.);
+  check_bool "gdl cost_time >= 0" true (g.Optimizer.Gdl.cost_time >= 0.);
+  check_bool "cost within search" true
+    (g.Optimizer.Gdl.cost_time <= g.Optimizer.Gdl.search_time +. 0.5);
+  let e = Optimizer.Edl.search example7_tbox est example7_query in
+  check_bool "edl search_time >= 0" true (e.Optimizer.Edl.search_time >= 0.);
+  let z =
+    Optimizer.Gdl.search ~time_budget:0.0 example7_tbox est example7_query
+  in
+  check_bool "zero budget times out" true z.Optimizer.Gdl.timed_out;
+  check_bool "zero budget time >= 0" true (z.Optimizer.Gdl.search_time >= 0.)
+
 (* {1 EDL} *)
 
 let test_edl_example7 () =
@@ -134,6 +154,7 @@ let suite =
     Alcotest.test_case "gdl example 7" `Quick test_gdl_example7;
     Alcotest.test_case "gdl exploration counts" `Quick test_gdl_explores_more_than_root;
     Alcotest.test_case "gdl time limited" `Quick test_gdl_time_limited;
+    Alcotest.test_case "monotonic search times" `Quick test_monotonic_times;
     Alcotest.test_case "edl example 7" `Quick test_edl_example7;
     Alcotest.test_case "edl cap" `Quick test_edl_cap;
     Alcotest.test_case "gdl random correctness" `Slow test_gdl_random_correct;

@@ -372,6 +372,26 @@ let test_exec_cache_counters () =
   check_bool "db2-like performs fewer scans" true
     (Atomic.get db2.Exec.scans < Atomic.get pg.Exec.scans)
 
+(* Regression: the per-run scan/build stores are bounded LRUs; under
+   heavy eviction pressure (capacity 1) the engine must produce
+   identical answers — the caches are pure memos, never load-bearing. *)
+let test_exec_bounded_run_cache () =
+  let abox = example1_abox () in
+  let layout = Layout.simple_of_abox abox in
+  let ucq = Reform.Perfectref.reformulate_raw example1_tbox example3_query in
+  let fol = Query.Fol.leaf ~out:example3_query.Cq.head ucq in
+  let reference = eval_engine ~config:Exec.db2_like layout fol in
+  Exec.set_run_cache_capacity 1;
+  Fun.protect
+    ~finally:(fun () -> Exec.set_run_cache_capacity Exec.default_run_cache_capacity)
+    (fun () ->
+      List.iter
+        (fun config ->
+          Alcotest.(check (list (list string)))
+            "answers identical under eviction pressure" reference
+            (eval_engine ~config layout fol))
+        [ Exec.postgres_like; Exec.db2_like ])
+
 (* {1 Cost estimation} *)
 
 let test_estimate_atom () =
@@ -486,6 +506,7 @@ let suite =
     Alcotest.test_case "exec vs reference (random)" `Slow test_exec_matches_reference_random;
     Alcotest.test_case "exec constants/self-loops" `Quick test_exec_constants_and_selfloops;
     Alcotest.test_case "exec cache counters" `Quick test_exec_cache_counters;
+    Alcotest.test_case "exec bounded run cache" `Quick test_exec_bounded_run_cache;
     Alcotest.test_case "estimate atom" `Quick test_estimate_atom;
     Alcotest.test_case "explain monotone" `Quick test_explain_monotone;
     Alcotest.test_case "explain sampling quirk" `Quick test_explain_union_sampling_quirk;

@@ -294,6 +294,52 @@ let test_cached_reformulation () =
   check_int "same as uncached" (Ucq.size (Reform.Perfectref.reformulate example1_tbox example3_query))
     (Ucq.size u1)
 
+(* Regression: the reformulation cache is bounded; under heavy eviction
+   pressure (capacity 1) the cached path must still return exactly the
+   reformulation the direct path computes. *)
+let ucq_fingerprint u =
+  List.sort compare (List.map (fun d -> Cq.to_string (Cq.canonicalize d)) (Ucq.disjuncts u))
+
+let test_bounded_cache_equivalence () =
+  Reform.Perfectref.clear_cache ();
+  Reform.Perfectref.set_cache_capacity 1;
+  Fun.protect
+    ~finally:(fun () ->
+      Reform.Perfectref.set_cache_capacity Reform.Perfectref.default_cache_capacity)
+    (fun () ->
+      let rng = Random.State.make [| 7707 |] in
+      for _ = 1 to 30 do
+        let tbox = random_tbox rng in
+        let q = random_query rng in
+        let direct = Reform.Perfectref.reformulate tbox q in
+        let cached = Reform.Perfectref.reformulate_cached tbox q in
+        check_bool "bounded cache preserves reformulation" true
+          (ucq_fingerprint direct = ucq_fingerprint cached)
+      done)
+
+(* Regression: reformulating a query over an unsatisfiable fragment
+   used to be able to hit [assert false] in [Fol.of_ucq]; PerfectRef
+   always keeps the original query as a disjunct, so the UCQ stays
+   non-empty and the FOL leaf builds cleanly. *)
+let test_unsat_fragment_no_crash () =
+  let t =
+    Tbox.of_axioms
+      [
+        sub (atomic "A") (atomic "B");
+        sub (atomic "A") (atomic "C");
+        disj (atomic "B") (atomic "C");
+      ]
+  in
+  let q = Cq.make ~head:[ v "x" ] ~body:[ ca "A" (v "x") ] () in
+  let u = Reform.Perfectref.reformulate t q in
+  check_bool "reformulation stays non-empty" true (Ucq.size u >= 1);
+  let f = Fol.of_ucq u in
+  check_bool "fol leaf built" true (Fol.is_ucq f);
+  (* and the guard itself: a hollow UCQ raises a clear error, not an
+     assertion failure (the chase-based oracle keeps answers honest) *)
+  let a = Abox.of_assertions ~concepts:[ "A", "a" ] ~roles:[] in
+  check_bool "evaluates without crashing" true (evaluate_ucq a u <> [])
+
 let suite =
   [
     Alcotest.test_case "example 4 raw size" `Quick test_example4_raw_size;
@@ -308,6 +354,8 @@ let suite =
     Alcotest.test_case "reformulation matches chase" `Slow test_reformulation_matches_chase;
     Alcotest.test_case "raw vs minimized answers" `Slow test_raw_equals_minimized_answers;
     Alcotest.test_case "reformulation cache" `Quick test_cached_reformulation;
+    Alcotest.test_case "bounded cache equivalence" `Quick test_bounded_cache_equivalence;
+    Alcotest.test_case "unsat fragment no crash" `Quick test_unsat_fragment_no_crash;
     Alcotest.test_case "containment basic" `Quick test_containment_basic;
     Alcotest.test_case "containment existential" `Quick test_containment_existential;
     Alcotest.test_case "containment vs plain" `Slow test_containment_vs_plain;
