@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test doc bench-smoke bench-replay bench ci clean
+.PHONY: all build test doc bench-smoke bench-replay bench-engine bench ci clean
 
 all: build
 
@@ -29,11 +29,19 @@ bench-replay: build
 	$(DUNE) exec bench/main.exe -- --exp replay --small 5000 \
 	  --json BENCH_PR3.json
 
+# The E15 engine comparison: the legacy row-at-a-time engine vs the
+# columnar batch engine on the join-heavy workload queries, per
+# strategy, with wall times and minor-word allocation deltas recorded
+# to BENCH_PR4.json. Fails if the engines disagree on any answer set.
+bench-engine: build
+	$(DUNE) exec bench/main.exe -- --exp engine --small 5000 \
+	  --json BENCH_PR4.json
+
 # The full benchmark suite at the default (sequential) job count.
 bench: build
 	$(DUNE) exec bench/main.exe
 
-ci: test doc bench-smoke bench-replay
+ci: test doc bench-smoke bench-replay bench-engine
 
 clean:
 	$(DUNE) clean

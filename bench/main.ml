@@ -12,6 +12,7 @@
      E9 ablation-gq  §6.3      — generalized covers on/off
      E13 calibration §6.3      — cardinality q-errors via EXPLAIN ANALYZE
      E14 replay      —         — plan cache under Zipf-skewed repeated queries
+     E15 engine      —         — materialised-row vs columnar-batch execution
 
    Usage: main.exe [--exp ID]… [--small N] [--large N] [--seed S]
                    [--jobs N] [--json FILE] [--metrics FILE] [--bechamel]
@@ -625,6 +626,108 @@ let exp_replay () =
   Fmt.pr "answers identical cold vs warm: %b@." identical;
   if not identical then failwith "E14: warm answers diverged from cold"
 
+(* {1 E15 — execution engine: materialised rows vs columnar batches} *)
+
+(* The legacy row-at-a-time engine (Rowexec) against the columnar
+   batch engine on identical physical plans: join-heavy workload
+   queries (two atoms or more), one reformulation per strategy,
+   sequential and uncached on both sides so the comparison isolates
+   the execution substrate. Minor-word deltas measure the boxed
+   per-row tuples the columnar representation removes. *)
+let exp_engine () =
+  Fmt.pr "@.== E15: execution engine — materialised rows vs columnar batches ==@.";
+  Fmt.pr "   (same plans, sequential, caches off: row-at-a-time Rowexec vs@.";
+  Fmt.pr "    the pipelined batch engine; minor words count per-row boxing)@.@.";
+  let engine = engine_for `Pglite `Simple !small_facts in
+  let layout = Obda.layout engine in
+  let joiny =
+    List.filter
+      (fun e -> List.length (Query.Cq.atoms e.Lubm.Workload.query) >= 2)
+      Lubm.Workload.queries
+  in
+  (* median-of-3 wall time; allocation delta from the first run *)
+  let timed_alloc f =
+    let once () =
+      let w0 = Gc.minor_words () in
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      r, dt *. 1000., Gc.minor_words () -. w0
+    in
+    let r, t1, w = once () in
+    let _, t2, _ = once () in
+    let _, t3, _ = once () in
+    r, List.nth (List.sort Float.compare [ t1; t2; t3 ]) 1, w
+  in
+  let totals = Hashtbl.create 8 in
+  Fmt.pr "%-10s %-4s %10s %10s %9s %10s %10s %8s@." "strategy" "qry" "row(ms)"
+    "batch(ms)" "speedup" "row(Mw)" "batch(Mw)" "alloc/x";
+  List.iter
+    (fun (sname, strategy) ->
+      List.iter
+        (fun e ->
+          let q = e.Lubm.Workload.query in
+          let fol = Obda.reformulate engine tbox strategy q in
+          let plan = Rdbms.Planner.of_fol layout fol in
+          (* time plan execution only: answer decoding and sorting are
+             the same code on both sides and would dilute the ratio *)
+          let _, row_ms, row_w =
+            timed_alloc (fun () -> Rdbms.Rowexec.run layout plan)
+          in
+          let _, batch_ms, batch_w =
+            timed_alloc (fun () ->
+                Rdbms.Exec.run ~config:Rdbms.Exec.postgres_like ~jobs:1 layout
+                  plan)
+          in
+          if
+            Rdbms.Rowexec.answers layout plan
+            <> Rdbms.Exec.answers ~config:Rdbms.Exec.postgres_like ~jobs:1
+                 layout plan
+          then
+            failwith
+              (Printf.sprintf "E15: engines disagree on %s %s" sname
+                 e.Lubm.Workload.name);
+          let tr, tb, wr, wb =
+            Option.value ~default:(0., 0., 0., 0.) (Hashtbl.find_opt totals sname)
+          in
+          Hashtbl.replace totals sname
+            (tr +. row_ms, tb +. batch_ms, wr +. row_w, wb +. batch_w);
+          record_json
+            [ "exp", "\"engine\"";
+              "query", Printf.sprintf "%S" e.Lubm.Workload.name;
+              "strategy", Printf.sprintf "%S" sname;
+              "row_ms", Printf.sprintf "%.3f" row_ms;
+              "batch_ms", Printf.sprintf "%.3f" batch_ms;
+              "row_minor_words", Printf.sprintf "%.0f" row_w;
+              "batch_minor_words", Printf.sprintf "%.0f" batch_w ];
+          Fmt.pr "%-10s %-4s %10.2f %10.2f %8.2fx %10.2f %10.2f %7.1fx@." sname
+            e.Lubm.Workload.name row_ms batch_ms
+            (row_ms /. Float.max 0.001 batch_ms)
+            (row_w /. 1e6) (batch_w /. 1e6)
+            (row_w /. Float.max 1. batch_w))
+        joiny)
+    strategy_columns;
+  Fmt.pr "@.totals per strategy (row engine vs batch engine):@.";
+  List.iter
+    (fun (sname, _) ->
+      match Hashtbl.find_opt totals sname with
+      | Some (tr, tb, wr, wb) ->
+        record_json
+          [ "exp", "\"engine\"";
+            "query", "\"TOTAL\"";
+            "strategy", Printf.sprintf "%S" sname;
+            "row_ms", Printf.sprintf "%.3f" tr;
+            "batch_ms", Printf.sprintf "%.3f" tb;
+            "speedup", Printf.sprintf "%.3f" (tr /. Float.max 0.001 tb);
+            "row_minor_words", Printf.sprintf "%.0f" wr;
+            "batch_minor_words", Printf.sprintf "%.0f" wb;
+            "alloc_ratio", Printf.sprintf "%.2f" (wr /. Float.max 1. wb) ];
+        Fmt.pr "  %-10s %10.1f ms -> %10.1f ms (%.2fx); minor words %.1fM -> %.1fM (%.1fx fewer)@."
+          sname tr tb (tr /. Float.max 0.001 tb) (wr /. 1e6) (wb /. 1e6)
+          (wr /. Float.max 1. wb)
+      | None -> ())
+    strategy_columns
+
 (* {1 Bechamel micro-benchmarks (one group per table/figure)} *)
 
 let bechamel_suite () =
@@ -702,6 +805,7 @@ let experiments =
     "saturation", exp_saturation;
     "calibration", exp_calibration;
     "replay", exp_replay;
+    "engine", exp_engine;
   ]
 
 let () =
@@ -714,7 +818,7 @@ let () =
       "--exp", Arg.String (fun s -> selected := s :: !selected),
         " run one experiment (table6, edl-vs-gdl, fig2-small, fig2-large, \
          fig3-small, fig3-large, gdl-time, anatomy, ablation-gq, uscq, views, \
-         saturation, calibration, replay)";
+         saturation, calibration, replay, engine)";
       "--small", Arg.Set_int small_facts, " facts in the small dataset (default 30000)";
       "--large", Arg.Set_int large_facts, " facts in the large dataset (default 120000)";
       "--seed", Arg.Set_int seed, " generator seed (default 42)";

@@ -56,7 +56,10 @@ let create ?max_cost ?(cost_of = fun _ -> 0) ~name ~capacity () =
     cost_of;
     max_cost;
     capacity;
-    table = Hashtbl.create (max 16 capacity);
+    (* [capacity] is an eviction bound, not a size hint: start small
+       and let the table grow — short-lived caches (per-run scan/build
+       stores) would otherwise pay a full-capacity bucket array each. *)
+    table = Hashtbl.create 16;
     head = None;
     tail = None;
     total_cost = 0;

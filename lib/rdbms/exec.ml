@@ -53,18 +53,14 @@ let fresh_counters () =
     build_hits = Atomic.make 0;
   }
 
-(* Rough byte footprint of a stored relation: one machine word per
-   cell plus per-row array overhead. Only used as an LRU cost
-   estimate. *)
-let relation_cost rel =
-  ((Array.length rel.Relation.cols * 8) + 24) * Relation.cardinality rel + 64
-
 type view_store = (string, Relation.t) Cache.Lru.t
 
 let default_view_capacity = 256
 
+(* The LRU stores charge the exact byte footprint of the columnar
+   storage ({!Relation.bytes}) — no more per-row overhead guessing. *)
 let fresh_view_store ?(capacity = default_view_capacity) () : view_store =
-  Cache.Lru.create ~cost_of:relation_cost ~name:"views" ~capacity ()
+  Cache.Lru.create ~cost_of:Relation.bytes ~name:"views" ~capacity ()
 
 (* The per-run scan/build caches are bounded too, with a capacity
    generous enough that all arms of one reformulated union share their
@@ -88,7 +84,7 @@ type ctx = {
 
 let fresh_run_caches () =
   let capacity = Atomic.get run_cache_capacity in
-  ( Cache.Lru.create ~cost_of:relation_cost ~name:"exec.scan" ~capacity (),
+  ( Cache.Lru.create ~cost_of:Relation.bytes ~name:"exec.scan" ~capacity (),
     Cache.Lru.create ~name:"exec.build" ~capacity () )
 
 (* A scan signature independent of variable names, so that R(x,y) in
@@ -103,43 +99,44 @@ let scan_signature atom =
   | Atom.Ra (p, Term.Cst k, Term.Var _) -> Printf.sprintf "r:%s:KV:%s" p k
   | Atom.Ra (p, Term.Cst k1, Term.Cst k2) -> Printf.sprintf "r:%s:KK:%s:%s" p k1 k2
 
-(* Canonical scan: output columns are position markers $0, $1. *)
+(* Canonical scan: output columns are position markers $0, $1. The
+   results are columnar views of the storage layer — on the simple
+   layout the column arrays alias the table's own lazily-split
+   projections, so a full role or concept scan copies nothing. *)
 let scan_canonical ctx atom =
   let layout = ctx.layout in
   let dict = Layout.dict layout in
   let code k = Dllite.Dict.find dict k in
   match atom with
   | Atom.Ca (p, Term.Var _) ->
-    Relation.make ~cols:[ "$0" ]
-      ~rows:(Array.to_list (Array.map (fun m -> [| m |]) (Layout.concept_rows layout p)))
+    Relation.of_columns ~cols:[ "$0" ] [| Layout.concept_rows layout p |]
   | Atom.Ca (p, Term.Cst k) -> (
     match code k with
     | None -> Relation.boolean false
     | Some c -> Relation.boolean (Layout.concept_mem layout p c))
   | Atom.Ra (p, Term.Var v1, Term.Var v2) ->
-    let pairs = Layout.role_rows layout p in
-    if v1 = v2 then
-      Relation.make ~cols:[ "$0" ]
-        ~rows:
-          (Array.to_list pairs
-          |> List.filter_map (fun (s, o) -> if s = o then Some [| s |] else None))
-    else
-      Relation.make ~cols:[ "$0"; "$1" ]
-        ~rows:(Array.to_list (Array.map (fun (s, o) -> [| s; o |]) pairs))
+    let subs, objs = Layout.role_cols layout p in
+    if v1 = v2 then begin
+      (* self-loop R(x,x): keep the subjects whose object equals them *)
+      let keep = Ibuf.create () in
+      for i = 0 to Array.length subs - 1 do
+        if subs.(i) = objs.(i) then Ibuf.push keep subs.(i)
+      done;
+      Relation.of_columns ~cols:[ "$0" ] [| Ibuf.to_array keep |]
+    end
+    else Relation.of_columns ~cols:[ "$0"; "$1" ] [| subs; objs |]
   | Atom.Ra (p, Term.Var _, Term.Cst k) -> (
     match code k with
     | None -> Relation.empty ~cols:[ "$0" ]
     | Some c ->
       let pairs = Layout.role_lookup_object_arr layout p c in
-      Relation.make ~cols:[ "$0" ]
-        ~rows:(Array.to_list (Array.map (fun (s, _) -> [| s |]) pairs)))
+      Relation.of_columns ~cols:[ "$0" ] [| Array.map fst pairs |])
   | Atom.Ra (p, Term.Cst k, Term.Var _) -> (
     match code k with
     | None -> Relation.empty ~cols:[ "$0" ]
     | Some c ->
       let pairs = Layout.role_lookup_subject_arr layout p c in
-      Relation.make ~cols:[ "$0" ]
-        ~rows:(Array.to_list (Array.map (fun (_, o) -> [| o |]) pairs)))
+      Relation.of_columns ~cols:[ "$0" ] [| Array.map snd pairs |])
   | Atom.Ra (p, Term.Cst k1, Term.Cst k2) -> (
     match code k1, code k2 with
     | Some c1, Some c2 ->
@@ -170,8 +167,9 @@ type cache_outcome =
    relation and the last writer wins (idempotent). Each request bumps
    exactly one counter. *)
 let scan_cached ctx atom =
-  let signature = scan_signature atom in
   let use_cache = ctx.config.scan_cache && cacheable ctx atom in
+  (* the signature sprintf only pays for itself when the cache is on *)
+  let signature = if use_cache then scan_signature atom else "" in
   Obs.Metrics.incr m_scan_requests;
   match if use_cache then Cache.Lru.find ctx.scans signature else None with
   | Some r ->
@@ -191,18 +189,17 @@ let scan ctx atom =
 
 (* Build-side sharing: when the build side is a base scan, key the
    build table on the scan signature and the canonical positions of the
-   join columns. *)
-let rename_payload actual_cols rel =
-  (* payload columns named $i come from the canonical scan and become
-     the atom's actual variable at position i *)
-  let rename c =
-    if String.length c > 1 && c.[0] = '$' then
-      actual_cols.(int_of_string (String.sub c 1 (String.length c - 1)))
-    else c
-  in
-  { rel with Relation.cols = Array.map rename rel.Relation.cols }
+   join columns. Payload columns named $i come from the canonical scan
+   and become the atom's actual variable at position i. *)
+let payload_rename actual_cols c =
+  if String.length c > 1 && c.[0] = '$' then
+    actual_cols.(int_of_string (String.sub c 1 (String.length c - 1)))
+  else c
 
-let eval_join_cached ctx left_rel atom on =
+(* A cached (or freshly built) build table for a base-scan build side,
+   plus the probe operator over it. The probe pipelines: the build is
+   the only materialisation point. *)
+let probe_cached ctx left_op atom on =
   let actual_cols = Array.of_list (Plan.scan_cols atom) in
   let position_of c =
     let rec find i =
@@ -232,130 +229,114 @@ let eval_join_cached ctx left_rel atom on =
       if use_cache then Cache.Lru.add ctx.builds key b;
       b, (if use_cache then Miss else Uncached)
   in
-  ( rename_payload actual_cols (Relation.probe ~left:left_rel ~right_build:build ~on),
-    outcome )
+  Physical.probe ~rename:(payload_rename actual_cols) left_op ~build ~on, outcome
 
-(* Index nested loop over a role atom: every left row probes the index
-   on the side named by [probe_col]; the opposite term either extends
-   the row, filters it, or checks a constant. *)
-let eval_index_join ctx left_rel atom probe_col =
+(* Index nested loop over a role atom: pipelined — every batch of the
+   left stream probes the index on the side named by [probe_col]. *)
+let index_join_op ctx left_op atom probe_col =
   let layout = ctx.layout in
   let dict = Layout.dict layout in
-  let p, probe_side, other_term =
+  let p, probe_side =
     match atom with
-    | Query.Atom.Ra (p, Query.Term.Var v, other) when v = probe_col -> p, `Subject, other
-    | Query.Atom.Ra (p, other, Query.Term.Var v) when v = probe_col -> p, `Object, other
+    | Query.Atom.Ra (p, Query.Term.Var v, _) when v = probe_col -> p, `Subject
+    | Query.Atom.Ra (p, _, Query.Term.Var v) when v = probe_col -> p, `Object
     | _ -> Fmt.invalid_arg "Index_join: %s does not bind %a" probe_col Query.Atom.pp atom
   in
   Atomic.incr ctx.counters.scans;
   Obs.Metrics.incr m_scan_requests;
-  let probe_idx = Relation.col_index left_rel probe_col in
-  let pairs v =
+  let lookup =
     match probe_side with
-    | `Subject -> Layout.role_lookup_subject_arr layout p v
-    | `Object -> Layout.role_lookup_object_arr layout p v
+    | `Subject -> Layout.role_lookup_subject_arr layout p
+    | `Object -> Layout.role_lookup_object_arr layout p
   in
-  let other_of =
-    match probe_side with `Subject -> snd | `Object -> fst
-  in
-  match other_term with
-  | Query.Term.Cst k ->
-    let code = Dllite.Dict.find dict k in
-    let rows =
-      List.filter
-        (fun row ->
-          match code with
-          | None -> false
-          | Some c -> Array.exists (fun pr -> other_of pr = c) (pairs row.(probe_idx)))
-        left_rel.Relation.rows
-    in
-    { left_rel with Relation.rows = rows }
-  | Query.Term.Var w when w = probe_col ->
-    (* self loop R(x,x) *)
-    let rows =
-      List.filter
-        (fun row ->
-          Array.exists (fun pr -> other_of pr = row.(probe_idx)) (pairs row.(probe_idx)))
-        left_rel.Relation.rows
-    in
-    { left_rel with Relation.rows = rows }
-  | Query.Term.Var w when Relation.mem_col left_rel w ->
-    let w_idx = Relation.col_index left_rel w in
-    let rows =
-      List.filter
-        (fun row ->
-          Array.exists (fun pr -> other_of pr = row.(w_idx)) (pairs row.(probe_idx)))
-        left_rel.Relation.rows
-    in
-    { left_rel with Relation.rows = rows }
-  | Query.Term.Var w ->
-    let cols = Array.append left_rel.Relation.cols [| w |] in
-    let rows =
-      List.concat_map
-        (fun row ->
-          Array.to_list
-            (Array.map (fun pr -> Array.append row [| other_of pr |])
-               (pairs row.(probe_idx))))
-        left_rel.Relation.rows
-    in
-    { Relation.cols; rows }
+  let other_of = match probe_side with `Subject -> snd | `Object -> fst in
+  Physical.index_join ~lookup ~other_of ~dict_find:(Dllite.Dict.find dict) left_op
+    atom probe_col
 
-let rec eval ctx plan =
+(* {2 Plan compilation}
+
+   [compile] turns a logical plan into an opened physical operator
+   tree. Scans materialise their (cached, canonical) relations at
+   compile time and stream them in batches; index joins, probes over
+   cached builds, projections and distinct pipeline on top without
+   materialising. The pipeline breakers are exactly: hash-join build
+   sides, merge joins (both sides sorted), [Materialize] fragments,
+   and union arms evaluated on the domain pool (jobs > 1) — a
+   sequential union streams its arms without a barrier. *)
+
+let encode_out ctx out =
+  let dict = Layout.dict ctx.layout in
+  List.map
+    (function
+      | `Col c -> `Col c
+      | `Const k -> `Const (Dllite.Dict.encode dict k))
+    out
+
+let rec compile ctx plan =
   match plan with
-  | Plan.Scan atom -> fst (scan ctx atom)
+  | Plan.Scan atom -> Physical.of_relation (fst (scan ctx atom))
   | Plan.Hash_join { left; right; on } -> (
-    let l = eval ctx left in
+    let l = compile ctx left in
     match right with
-    | Plan.Scan atom when ctx.config.build_cache ->
-      fst (eval_join_cached ctx l atom on)
+    | Plan.Scan atom when ctx.config.build_cache -> fst (probe_cached ctx l atom on)
     | _ ->
       Atomic.incr ctx.counters.builds;
-      let r = eval ctx right in
-      Relation.hash_join l r ~on)
+      let r = Physical.to_relation (compile ctx right) in
+      Physical.hash_join l r ~on)
   | Plan.Merge_join { left; right; on } ->
-    let l = eval ctx left and r = eval ctx right in
-    Relation.merge_join l r ~on
+    let l = Physical.to_relation (compile ctx left) in
+    let r = Physical.to_relation (compile ctx right) in
+    Physical.of_relation (Relation.merge_join l r ~on)
   | Plan.Index_join { left; atom; probe_col } ->
-    eval_index_join ctx (eval ctx left) atom probe_col
-  | Plan.Project { input; out } ->
-    let r = eval ctx input in
-    let dict = Layout.dict ctx.layout in
-    let out' =
-      List.map
-        (function
-          | `Col c -> `Col c
-          | `Const k -> `Const (Dllite.Dict.encode dict k))
-        out
-    in
-    Relation.project r out'
-  | Plan.Distinct p -> Relation.distinct (eval ctx p)
+    index_join_op ctx (compile ctx left) atom probe_col
+  | Plan.Project { input; out } -> Physical.project (compile ctx input) (encode_out ctx out)
+  | Plan.Distinct p -> Physical.distinct (compile ctx p)
   | Plan.Union { cols; inputs } ->
     (* The embarrassingly parallel hot path: a reformulated UCQ is one
-       [Union] whose arms are independent. Arms evaluate on the domain
-       pool and merge positionally in input order, so the result is
-       identical to the sequential fold at any job count. *)
+       [Union] whose arms are independent. At jobs > 1 the arms
+       materialise on the domain pool and merge positionally in input
+       order; sequentially they stream one after the other. Either way
+       the result is identical to the sequential fold at any job
+       count. *)
     Obs.Metrics.add m_union_arms (List.length inputs);
-    Relation.union_all ~cols (Parallel.map ~jobs:ctx.jobs (eval ctx) inputs)
+    if ctx.jobs > 1 && List.length inputs > 1 then
+      let rels =
+        Parallel.map ~jobs:ctx.jobs
+          (fun p -> Physical.to_relation (compile ctx p))
+          inputs
+      in
+      Physical.union ~cols (List.map Physical.of_relation rels)
+    else
+      (* arms open lazily: arm i's build tables and scan extractions
+         are garbage before arm i+1's exist *)
+      Physical.union_delayed ~cols
+        (List.map (fun p () -> compile ctx p) inputs)
   | Plan.Materialize p -> (
     match ctx.views with
-    | None -> eval ctx p
+    | None -> compile ctx p
     | Some store -> (
-      let key = Fmt.str "%a" Plan.pp p in
+      let key = Plan.structural_key p in
       match Cache.Lru.find store key with
-      | Some rel -> rel
+      | Some rel -> Physical.of_relation rel
       | None ->
-        let rel = eval ctx p in
+        let rel = Physical.to_relation (compile ctx p) in
         (* keep the first stored copy if a sibling arm won the race *)
-        Cache.Lru.add_if_absent store key rel))
+        Physical.of_relation (Cache.Lru.add_if_absent store key rel)))
+
+let eval ctx plan = Physical.to_relation (compile ctx plan)
 
 (* {2 Instrumented (EXPLAIN ANALYZE) evaluation}
 
-   A second recursive evaluator that produces, alongside the result
-   relation, a stats tree mirroring the plan: per operator, the actual
-   output cardinality, the monotonic wall-clock spent (inclusive of
-   children), and the cache outcome of the node's scan / build / view
-   access. It shares every helper (and thus every cache and counter)
-   with [eval]; the plain evaluator stays allocation-free of stats. *)
+   A second compiler that attaches a mutable accumulator to every
+   operator: the wrapped [next] adds its wall-clock and emitted rows
+   to the node's accumulator, and compilation time (which includes any
+   child materialised at compile time — builds, merge sorts,
+   materialised fragments, parallel arms) is charged to the node up
+   front. Because a parent's [next] calls its children's instrumented
+   [next], every node's time is inclusive of its subtree, matching the
+   semantics of the fully-materialised analyzer this replaces. It
+   shares every helper (and thus every cache and counter) with
+   [compile]; the plain compiler stays allocation-free of stats. *)
 
 type node_stats = {
   plan : Plan.t;
@@ -365,79 +346,132 @@ type node_stats = {
   children : node_stats list;
 }
 
-let rec eval_analyzed ctx plan =
+type acc = {
+  a_plan : Plan.t;
+  mutable a_rows : int;
+  mutable a_ns : int64;
+  a_cache : cache_outcome;
+  a_children : acc list;
+}
+
+let rec stats_of acc =
+  {
+    plan = acc.a_plan;
+    actual_rows = acc.a_rows;
+    elapsed_ns = acc.a_ns;
+    cache = acc.a_cache;
+    children = List.map stats_of acc.a_children;
+  }
+
+let instrument acc (op : Physical.op) =
+  let next () =
+    let t0 = Obs.Mclock.now_ns () in
+    let r = op.Physical.next () in
+    acc.a_ns <- Int64.add acc.a_ns (Obs.Mclock.elapsed_ns ~since:t0);
+    (match r with
+    | Some b -> acc.a_rows <- acc.a_rows + Batch.length b
+    | None -> ());
+    r
+  in
+  { op with Physical.next }
+
+let rec compile_analyzed ctx plan =
   let t0 = Obs.Mclock.now_ns () in
-  let finish ?(cache = Uncached) rel children =
-    ( rel,
-      {
-        plan;
-        actual_rows = Relation.cardinality rel;
-        elapsed_ns = Obs.Mclock.elapsed_ns ~since:t0;
-        cache;
-        children;
-      } )
+  let finish ?(cache = Uncached) op children =
+    let acc =
+      { a_plan = plan; a_rows = 0; a_ns = 0L; a_cache = cache; a_children = children }
+    in
+    acc.a_ns <- Obs.Mclock.elapsed_ns ~since:t0;
+    instrument acc op, acc
   in
   match plan with
   | Plan.Scan atom ->
     let rel, outcome = scan ctx atom in
-    finish ~cache:outcome rel []
+    finish ~cache:outcome (Physical.of_relation rel) []
   | Plan.Hash_join { left; right; on } -> (
-    let l, ls = eval_analyzed ctx left in
+    let l, ls = compile_analyzed ctx left in
     match right with
     | Plan.Scan atom when ctx.config.build_cache ->
       (* the build side folds into this node: its scan/build outcome is
          the node's cache outcome, and it has no separate child *)
-      let rel, outcome = eval_join_cached ctx l atom on in
-      finish ~cache:outcome rel [ ls ]
+      let op, outcome = probe_cached ctx l atom on in
+      finish ~cache:outcome op [ ls ]
     | _ ->
       Atomic.incr ctx.counters.builds;
-      let r, rs = eval_analyzed ctx right in
-      finish (Relation.hash_join l r ~on) [ ls; rs ])
+      let r, rs = compile_analyzed ctx right in
+      finish (Physical.hash_join l (Physical.to_relation r) ~on) [ ls; rs ])
   | Plan.Merge_join { left; right; on } ->
-    let l, ls = eval_analyzed ctx left in
-    let r, rs = eval_analyzed ctx right in
-    finish (Relation.merge_join l r ~on) [ ls; rs ]
-  | Plan.Index_join { left; atom; probe_col } ->
-    let l, ls = eval_analyzed ctx left in
-    finish (eval_index_join ctx l atom probe_col) [ ls ]
-  | Plan.Project { input; out } ->
-    let r, rs = eval_analyzed ctx input in
-    let dict = Layout.dict ctx.layout in
-    let out' =
-      List.map
-        (function
-          | `Col c -> `Col c
-          | `Const k -> `Const (Dllite.Dict.encode dict k))
-        out
+    let l, ls = compile_analyzed ctx left in
+    let r, rs = compile_analyzed ctx right in
+    let rel =
+      Relation.merge_join (Physical.to_relation l) (Physical.to_relation r) ~on
     in
-    finish (Relation.project r out') [ rs ]
+    finish (Physical.of_relation rel) [ ls; rs ]
+  | Plan.Index_join { left; atom; probe_col } ->
+    let l, ls = compile_analyzed ctx left in
+    finish (index_join_op ctx l atom probe_col) [ ls ]
+  | Plan.Project { input; out } ->
+    let i, is_ = compile_analyzed ctx input in
+    finish (Physical.project i (encode_out ctx out)) [ is_ ]
   | Plan.Distinct p ->
-    let r, rs = eval_analyzed ctx p in
-    finish (Relation.distinct r) [ rs ]
+    let i, is_ = compile_analyzed ctx p in
+    finish (Physical.distinct i) [ is_ ]
   | Plan.Union { cols; inputs } ->
     Obs.Metrics.add m_union_arms (List.length inputs);
-    let arms = Parallel.map ~jobs:ctx.jobs (eval_analyzed ctx) inputs in
-    finish (Relation.union_all ~cols (List.map fst arms)) (List.map snd arms)
+    if ctx.jobs > 1 && List.length inputs > 1 then begin
+      (* arms compile, drain and account on the pool; the domain join
+         gives the happens-before that makes their accumulators safe
+         to read here *)
+      let arms =
+        Parallel.map ~jobs:ctx.jobs
+          (fun p ->
+            let op, acc = compile_analyzed ctx p in
+            Physical.to_relation op, acc)
+          inputs
+      in
+      finish
+        (Physical.union ~cols (List.map (fun (rel, _) -> Physical.of_relation rel) arms))
+        (List.map snd arms)
+    end
+    else begin
+      let arms = List.map (compile_analyzed ctx) inputs in
+      finish (Physical.union ~cols (List.map fst arms)) (List.map snd arms)
+    end
   | Plan.Materialize p -> (
     match ctx.views with
     | None ->
-      let r, rs = eval_analyzed ctx p in
-      finish r [ rs ]
+      let i, is_ = compile_analyzed ctx p in
+      finish i [ is_ ]
     | Some store -> (
-      let key = Fmt.str "%a" Plan.pp p in
+      let key = Plan.structural_key p in
       match Cache.Lru.find store key with
-      | Some rel -> finish ~cache:Hit rel []
+      | Some rel -> finish ~cache:Hit (Physical.of_relation rel) []
       | None ->
-        let rel, rs = eval_analyzed ctx p in
-        let rel = Cache.Lru.add_if_absent store key rel in
-        finish ~cache:Miss rel [ rs ]))
+        let op, is_ = compile_analyzed ctx p in
+        let rel = Cache.Lru.add_if_absent store key (Physical.to_relation op) in
+        finish ~cache:Miss (Physical.of_relation rel) [ is_ ]))
+
+let eval_analyzed ctx plan =
+  let op, acc = compile_analyzed ctx plan in
+  let rel = Physical.to_relation op in
+  rel, stats_of acc
+
+(* Every access to the run caches is gated on the config flags
+   ([scan_cached] checks [scan_cache]; [probe_cached] is only reached
+   under [build_cache]), so a config with both caches off can share
+   one never-touched pair instead of paying two cache allocations and
+   eight metrics-registry lookups per query. *)
+let disabled_run_caches = fresh_run_caches ()
 
 let make_ctx config counters views jobs layout =
   let counters = Option.value ~default:(fresh_counters ()) counters in
   let jobs =
     match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
   in
-  let scans, builds = fresh_run_caches () in
+  let scans, builds =
+    if config.scan_cache || config.build_cache then fresh_run_caches ()
+    else disabled_run_caches
+  in
   { layout; config; counters; scans; builds; views; jobs }
 
 let run ?(config = postgres_like) ?counters ?views ?jobs layout plan =
@@ -446,10 +480,12 @@ let run ?(config = postgres_like) ?counters ?views ?jobs layout plan =
 let run_analyzed ?(config = postgres_like) ?counters ?views ?jobs layout plan =
   eval_analyzed (make_ctx config counters views jobs layout) plan
 
-let answers ?config ?views ?jobs layout plan =
-  let rel = Relation.distinct (run ?config ?views ?jobs layout plan) in
+let decode_rows layout rel =
   let dict = Layout.dict layout in
   List.sort_uniq compare
     (List.map
        (fun row -> Array.to_list (Array.map (Dllite.Dict.decode dict) row))
-       rel.Relation.rows)
+       (Relation.rows rel))
+
+let answers ?config ?views ?jobs layout plan =
+  decode_rows layout (Relation.distinct (run ?config ?views ?jobs layout plan))

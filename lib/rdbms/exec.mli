@@ -1,4 +1,13 @@
-(** Plan execution. The configuration models the engine-level runtime
+(** Plan execution on the columnar batch engine: {!Plan} trees compile
+    to pipelined {!Physical} operators over {!Batch} column windows, so
+    scan->index-join->project chains never materialise intermediates,
+    hash joins build once from columns and probe batch-at-a-time, and
+    [Distinct] dedupes incrementally. The pipeline breakers are hash
+    builds, merge-join sorts, [Materialize] fragments and parallel
+    union arms. (The pre-columnar row-at-a-time engine survives as
+    {!Rowexec} for benchmarking and differential testing.)
+
+    The configuration models the engine-level runtime
     differences §6 of the paper observes between Postgres and DB2:
     DB2's buffer-locality optimisations for repeated scans ([21]) are
     modelled by caching scan results and join build tables across the
@@ -40,7 +49,10 @@ type counters = {
 type view_store = (string, Relation.t) Cache.Lru.t
 (** Materialised fragment views (the paper's §7 future-work extension):
     a bounded LRU shared {e across} query executions. Every
-    [Materialize] node's result is keyed by its plan text and reused
+    [Materialize] node's result is keyed by the injective
+    {!Plan.structural_key} of its fragment (plan {e text} would
+    conflate a variable with an equally-named constant) and costed at
+    the exact {!Relation.bytes} of the stored columns; it is reused
     verbatim on the next query that materialises the same fragment
     against the same data. The store must be flushed
     ({!Cache.Lru.set_version} with the new KB generation, or
@@ -119,6 +131,11 @@ val answers :
   string list list
 (** Runs the plan and decodes the rows through the dictionary; sorted,
     duplicate-free. *)
+
+val decode_rows : Layout.t -> Relation.t -> string list list
+(** Decodes a result relation through the layout's dictionary; sorted,
+    duplicate-free (the answer-shaping step of {!answers}, shared with
+    {!Rowexec.answers}). *)
 
 val fresh_counters : unit -> counters
 

@@ -13,15 +13,21 @@ type profile = {
   max_sql_bytes : int option;
 }
 
+(* Per-row constants recalibrated for the columnar batch engine (bench
+   E15): emitting an output row is a column write instead of a boxed
+   array allocation (c_out), Distinct dedupes incrementally over
+   selection vectors (c_distinct), and Materialize stores columns with
+   one blit per column (c_mat). Scan/build/probe stay put — the
+   per-row hash work is representation-independent. *)
 let pglite =
   {
     name = "pglite";
     c_scan = 1.0;
     c_build = 2.0;
     c_probe = 1.0;
-    c_out = 0.5;
-    c_distinct = 1.2;
-    c_mat = 1.5;
+    c_out = 0.3;
+    c_distinct = 0.8;
+    c_mat = 1.1;
     union_sample = Some 64;
     default_arm_rows = 1000.;
     repeated_scan_discount = 1.0;
@@ -35,9 +41,9 @@ let db2lite =
     c_scan = 1.0;
     c_build = 2.0;
     c_probe = 1.0;
-    c_out = 0.5;
-    c_distinct = 1.2;
-    c_mat = 1.5;
+    c_out = 0.3;
+    c_distinct = 0.8;
+    c_mat = 1.1;
     union_sample = None;
     default_arm_rows = 1000.;
     repeated_scan_discount = 0.15;

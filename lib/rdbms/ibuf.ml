@@ -1,0 +1,21 @@
+type t = {
+  mutable a : int array;
+  mutable len : int;
+}
+
+let create ?(capacity = 64) () = { a = Array.make (max 1 capacity) 0; len = 0 }
+
+let length b = b.len
+
+let push b x =
+  if b.len = Array.length b.a then begin
+    let g = Array.make (2 * b.len) 0 in
+    Array.blit b.a 0 g 0 b.len;
+    b.a <- g
+  end;
+  b.a.(b.len) <- x;
+  b.len <- b.len + 1
+
+let get b i = b.a.(i)
+
+let to_array b = Array.sub b.a 0 b.len

@@ -1,0 +1,20 @@
+(** Growable unboxed [int] buffers — the scratch structure the columnar
+    operators append into when an output cardinality is not known in
+    advance (index-join expansions, merge-join products, RDF wide-table
+    scans). Amortised O(1) push, no per-element boxing. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An empty buffer (initial capacity 64 unless given). *)
+
+val length : t -> int
+
+val push : t -> int -> unit
+
+val get : t -> int -> int
+(** [get b i] reads position [i < length b] (unchecked beyond array
+    bounds). *)
+
+val to_array : t -> int array
+(** The first [length b] elements, as a fresh exactly-sized array. *)

@@ -18,6 +18,9 @@ let concept_rows t n =
 let role_rows t n =
   match t with Simple s -> Storage.role_rows s n | Rdf r -> Rdf_layout.role_rows r n
 
+let role_cols t n =
+  match t with Simple s -> Storage.role_cols s n | Rdf r -> Rdf_layout.role_cols r n
+
 let role_lookup_subject t n v =
   match t with
   | Simple s -> Storage.role_lookup_subject s n v

@@ -27,6 +27,12 @@ val concept_rows : t -> string -> int array
 val role_rows : t -> string -> (int * int) array
 (** All (subject, object) pairs of a role, one full scan. *)
 
+val role_cols : t -> string -> int array * int array
+(** The role as (subjects, objects) column arrays — what the columnar
+    scan operators consume. On the simple layout the arrays are a
+    lazily-built shared projection (do not mutate); on the RDF layout
+    each call re-pays the wide-table probe. *)
+
 val role_lookup_subject : t -> string -> int -> (int * int) list
 (** Index probe: the role rows whose subject equals the code. *)
 

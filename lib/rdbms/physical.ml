@@ -1,0 +1,410 @@
+(* Pipelined physical operators: each operator is an open iterator
+   (the [op] record is the opened state) whose [next] yields column
+   batches until [None]. Scan->index-join->project chains pipeline
+   batch-at-a-time without materialising intermediates; the pipeline
+   breakers (hash-join builds, merge-join sorts, Materialize, parallel
+   union arms) live in {!Exec}, which composes these operators with
+   the cache and parallelism policy. *)
+
+type op = {
+  cols : string array;
+  next : unit -> Batch.t option;
+  close : unit -> unit;
+}
+
+let no_close = ignore
+
+let col_index cols name =
+  let rec go i =
+    if i >= Array.length cols then raise Not_found
+    else if String.equal cols.(i) name then i
+    else go (i + 1)
+  in
+  go 0
+
+(* {2 Sources and sinks} *)
+
+let of_relation ?(batch_size = Batch.default_size) (r : Relation.t) =
+  let pos = ref 0 in
+  let next () =
+    if !pos >= r.Relation.nrows then None
+    else begin
+      let len = min batch_size (r.Relation.nrows - !pos) in
+      let b = Batch.of_relation ~off:!pos ~len r in
+      pos := !pos + len;
+      Some b
+    end
+  in
+  { cols = r.Relation.cols; next; close = no_close }
+
+(* Draining sink. A single whole batch adopts its backing arrays
+   (scans that were materialised anyway convert back for free);
+   otherwise the exact output size is known after the drain, so each
+   column is filled once into an exactly-sized array. *)
+let to_relation op =
+  let batches = ref [] and total = ref 0 in
+  let rec drain () =
+    match op.next () with
+    | None -> ()
+    | Some b ->
+      if Batch.length b > 0 then begin
+        batches := b :: !batches;
+        total := !total + Batch.length b
+      end;
+      drain ()
+  in
+  drain ();
+  op.close ();
+  let a = Array.length op.cols in
+  match !batches with
+  | [] -> { Relation.cols = op.cols; columns = Array.init a (fun _ -> [||]); nrows = 0 }
+  | [ b ] when Batch.is_whole b ->
+    { Relation.cols = op.cols; columns = b.Batch.data; nrows = b.Batch.len }
+  | rev_batches ->
+    let columns = Array.init a (fun _ -> Array.make !total 0) in
+    let fill off b =
+      match b.Batch.sel with
+      | None ->
+        for c = 0 to a - 1 do
+          Array.blit b.Batch.data.(c) b.Batch.off columns.(c) off b.Batch.len
+        done
+      | Some s ->
+        for c = 0 to a - 1 do
+          let src = b.Batch.data.(c) and dst = columns.(c) in
+          for i = 0 to b.Batch.len - 1 do
+            dst.(off + i) <- src.(s.(i))
+          done
+        done
+    in
+    (* the batch list is newest-first: fill back-to-front *)
+    let rec back_fill off = function
+      | [] -> ()
+      | b :: rest ->
+        let off = off - Batch.length b in
+        fill off b;
+        back_fill off rest
+    in
+    back_fill !total rev_batches;
+    { Relation.cols = op.cols; columns; nrows = !total }
+
+(* {2 Pipelined operators} *)
+
+(* Absolute-row-index resolver with the selection-vector match hoisted
+   out of the per-row loops: operator inner loops pay one closure call
+   per row instead of a variant match per cell. *)
+let idx_fun b =
+  match b.Batch.sel with
+  | None ->
+    let off = b.Batch.off in
+    fun i -> off + i
+  | Some s -> fun i -> s.(i)
+
+let project op out =
+  let resolve = col_index op.cols in
+  let _, rev =
+    List.fold_left
+      (fun (ci, acc) spec ->
+        match spec with
+        | `Col name -> ci, (name, `Idx (resolve name)) :: acc
+        | `Const v -> ci + 1, ("_const" ^ string_of_int ci, `Val v) :: acc)
+      (0, []) out
+  in
+  let spec = Array.of_list (List.rev rev) in
+  let cols = Array.map fst spec in
+  let consts =
+    Array.exists (fun (_, s) -> match s with `Val _ -> true | `Idx _ -> false) spec
+  in
+  if not consts then begin
+    let idxs = Array.map (fun (_, s) -> match s with `Idx i -> i | `Val _ -> assert false) spec in
+    let next () = Option.map (fun b -> Batch.map_cols b ~cols ~idxs) (op.next ()) in
+    { cols; next; close = op.close }
+  end
+  else begin
+    let next () =
+      Option.map
+        (fun b ->
+          let n = Batch.length b in
+          let abs = idx_fun b in
+          let data =
+            Array.map
+              (fun (_, s) ->
+                match s with
+                | `Idx i ->
+                  let src = b.Batch.data.(i) in
+                  Array.init n (fun j -> src.(abs j))
+                | `Val v -> Array.make n v)
+              spec
+          in
+          { Batch.cols; data; sel = None; off = 0; len = n })
+        (op.next ())
+    in
+    { cols; next; close = op.close }
+  end
+
+(* Incremental distinct: the seen-set persists across batches; each
+   batch shrinks to the selection vector of its first-occurrence rows.
+   Never materialises the input. *)
+let distinct op =
+  let a = Array.length op.cols in
+  if a = 1 then begin
+    (* single column (the common shape at the root of a reformulated
+       union): int-keyed seen-set, no scratch tuple, no per-row copy *)
+    let seen = Hashtbl.create 256 in
+    let rec next () =
+      match op.next () with
+      | None -> None
+      | Some b ->
+        let n = Batch.length b in
+        let abs = idx_fun b in
+        let src = b.Batch.data.(0) in
+        let keep = Ibuf.create ~capacity:(max 16 n) () in
+        for i = 0 to n - 1 do
+          let v = src.(abs i) in
+          if not (Hashtbl.mem seen v) then begin
+            Hashtbl.add seen v ();
+            Ibuf.push keep i
+          end
+        done;
+        if Ibuf.length keep = 0 then next ()
+        else if Ibuf.length keep = n then Some b
+        else Some (Batch.select b (Ibuf.to_array keep))
+    in
+    { cols = op.cols; next; close = op.close }
+  end
+  else begin
+    let seen = Hashtbl.create 256 in
+    let scratch = Array.make a 0 in
+    let rec next () =
+      match op.next () with
+      | None -> None
+      | Some b ->
+        let n = Batch.length b in
+        let abs = idx_fun b in
+        let data = b.Batch.data in
+        let keep = Ibuf.create ~capacity:(max 16 n) () in
+        for i = 0 to n - 1 do
+          let ai = abs i in
+          for c = 0 to a - 1 do
+            scratch.(c) <- data.(c).(ai)
+          done;
+          if not (Hashtbl.mem seen scratch) then begin
+            Hashtbl.add seen (Array.copy scratch) ();
+            Ibuf.push keep i
+          end
+        done;
+        if Ibuf.length keep = 0 then next ()
+        else if Ibuf.length keep = n then Some b
+        else Some (Batch.select b (Ibuf.to_array keep))
+    in
+    { cols = op.cols; next; close = op.close }
+  end
+
+(* Sequential concatenation whose arms open lazily: arm i+1's pipeline
+   (and any compile-time materialisation inside it — build tables,
+   merge sorts, scan extractions) is not constructed until arm i is
+   exhausted. A reformulated union has hundreds of arms; opening them
+   all up front keeps every arm's intermediates live at once, which
+   promotes them wholesale to the major heap. Arities are validated as
+   each arm opens, with the same message as {!Relation.union_all}. *)
+let union_delayed ~cols arms =
+  let a = List.length cols in
+  let cols_arr = Array.of_list cols in
+  let check op =
+    if Array.length op.cols <> a then
+      invalid_arg
+        (Printf.sprintf
+           "Physical.union: arity mismatch: expected %d columns [%s], got [%s]"
+           a (String.concat "," cols)
+           (String.concat "," (Array.to_list op.cols)));
+    op
+  in
+  let current = ref None and rem = ref arms in
+  let rec next () =
+    match !current with
+    | Some op -> (
+      match op.next () with
+      | Some b -> Some (Batch.rename b cols_arr)
+      | None ->
+        op.close ();
+        current := None;
+        next ())
+    | None -> (
+      match !rem with
+      | [] -> None
+      | mk :: rest ->
+        rem := rest;
+        current := Some (check (mk ()));
+        next ())
+  in
+  let close () =
+    (match !current with Some op -> op.close () | None -> ());
+    current := None;
+    rem := []
+  in
+  { cols = cols_arr; next; close }
+
+(* Eager variant over already-opened arms (the parallel-union merge
+   path): arity is validated up front, all offenders named. *)
+let union ~cols ops =
+  let a = List.length cols in
+  let offending =
+    List.filter (fun op -> Array.length op.cols <> a) ops
+    |> List.map (fun op ->
+           Printf.sprintf "[%s]" (String.concat "," (Array.to_list op.cols)))
+  in
+  if offending <> [] then
+    invalid_arg
+      (Printf.sprintf
+         "Physical.union: arity mismatch: expected %d columns [%s], got %s" a
+         (String.concat "," cols)
+         (String.concat " and " offending));
+  union_delayed ~cols (List.map (fun op () -> op) ops)
+
+(* Batch-at-a-time hash probe against a prebuilt table
+   ({!Relation.build_table}): one hash lookup per input row; the
+   matched (left absolute row, build row) pairs accumulate in growable
+   int buffers, then each output column is gathered in one pass from
+   the batch and the build side's aliased payload columns. [rename]
+   maps the build side's canonical payload names ($i) to actual
+   variables. *)
+let probe ?(rename = fun c -> c) left ~build ~on =
+  let b = (build : Relation.build_table) in
+  let key_idx = Array.of_list (List.map (col_index left.cols) on) in
+  let nk = Array.length key_idx in
+  let nl = Array.length left.cols in
+  let np = Array.length b.Relation.payload in
+  let cols = Array.append left.cols (Array.map rename b.Relation.payload_cols) in
+  let scratch = Array.make nk 0 in
+  (* the lookup closes over the batch's column arrays, rebound per
+     batch; single-column keys skip the scratch tuple entirely *)
+  let lookup =
+    match b.Relation.table with
+    | Relation.Single t ->
+      let k0 = key_idx.(0) in
+      fun data ai ->
+        (match Hashtbl.find_opt t data.(k0).(ai) with None -> [] | Some l -> l)
+    | Relation.Multi t ->
+      fun data ai ->
+        for j = 0 to nk - 1 do
+          scratch.(j) <- data.(key_idx.(j)).(ai)
+        done;
+        (match Hashtbl.find_opt t scratch with None -> [] | Some l -> l)
+  in
+  let rec next () =
+    match left.next () with
+    | None -> None
+    | Some batch ->
+      let n = Batch.length batch in
+      let abs = idx_fun batch in
+      let data = batch.Batch.data in
+      let li = Ibuf.create () and bi = Ibuf.create () in
+      for i = 0 to n - 1 do
+        let ai = abs i in
+        List.iter
+          (fun r ->
+            Ibuf.push li ai;
+            Ibuf.push bi r)
+          (lookup data ai)
+      done;
+      let total = Ibuf.length li in
+      if total = 0 then next ()
+      else begin
+        let out = Array.make (nl + np) [||] in
+        for c = 0 to nl - 1 do
+          let src = data.(c) in
+          out.(c) <- Array.init total (fun o -> src.(Ibuf.get li o))
+        done;
+        for c = 0 to np - 1 do
+          let src = b.Relation.payload.(c) in
+          out.(nl + c) <- Array.init total (fun o -> src.(Ibuf.get bi o))
+        done;
+        Some { Batch.cols; data = out; sel = None; off = 0; len = total }
+      end
+  in
+  { cols; next; close = left.close }
+
+let hash_join left right ~on = probe left ~build:(Relation.build right ~on) ~on
+
+(* Index nested loop over a role atom, batch-at-a-time: every row of
+   the left batch probes the role index on [probe_col]'s side; the
+   opposite term either filters the row (constant / bound variable /
+   self-loop) or extends it with the matched values (fresh variable).
+   Filters emit selection vectors; extension emits compact batches. *)
+let index_join ~lookup ~other_of ~dict_find left atom probe_col =
+  let p_idx = col_index left.cols probe_col in
+  let other_term =
+    match (atom : Query.Atom.t) with
+    | Query.Atom.Ra (_, Query.Term.Var v, other) when v = probe_col -> other
+    | Query.Atom.Ra (_, other, Query.Term.Var v) when v = probe_col -> other
+    | _ ->
+      Fmt.invalid_arg "Index_join: %s does not bind %a" probe_col Query.Atom.pp
+        atom
+  in
+  let filter keep_row =
+    let rec next () =
+      match left.next () with
+      | None -> None
+      | Some b ->
+        let n = Batch.length b in
+        let keep = Ibuf.create ~capacity:(max 16 n) () in
+        for i = 0 to n - 1 do
+          if keep_row b i then Ibuf.push keep i
+        done;
+        if Ibuf.length keep = 0 then next ()
+        else if Ibuf.length keep = n then Some b
+        else Some (Batch.select b (Ibuf.to_array keep))
+    in
+    { cols = left.cols; next; close = left.close }
+  in
+  match other_term with
+  | Query.Term.Cst k -> (
+    match dict_find k with
+    | None -> filter (fun _ _ -> false)
+    | Some c ->
+      filter (fun b i ->
+          Array.exists (fun pr -> other_of pr = c) (lookup (Batch.get b p_idx i))))
+  | Query.Term.Var w when w = probe_col ->
+    (* self loop R(x,x) *)
+    filter (fun b i ->
+        let v = Batch.get b p_idx i in
+        Array.exists (fun pr -> other_of pr = v) (lookup v))
+  | Query.Term.Var w when Array.exists (String.equal w) left.cols ->
+    let w_idx = col_index left.cols w in
+    filter (fun b i ->
+        let wv = Batch.get b w_idx i in
+        Array.exists (fun pr -> other_of pr = wv) (lookup (Batch.get b p_idx i)))
+  | Query.Term.Var w ->
+    let cols = Array.append left.cols [| w |] in
+    let nl = Array.length left.cols in
+    let rec next () =
+      match left.next () with
+      | None -> None
+      | Some b ->
+        let n = Batch.length b in
+        let abs = idx_fun b in
+        let src = b.Batch.data in
+        let probe_src = src.(p_idx) in
+        (* absolute left row index per match, plus the new column *)
+        let rows = Ibuf.create () and vals = Ibuf.create () in
+        for i = 0 to n - 1 do
+          let ai = abs i in
+          Array.iter
+            (fun pr ->
+              Ibuf.push rows ai;
+              Ibuf.push vals (other_of pr))
+            (lookup probe_src.(ai))
+        done;
+        let total = Ibuf.length rows in
+        if total = 0 then next ()
+        else begin
+          let data =
+            Array.init (nl + 1) (fun c ->
+                if c < nl then
+                  let col = src.(c) in
+                  Array.init total (fun o -> col.(Ibuf.get rows o))
+                else Ibuf.to_array vals)
+          in
+          Some { Batch.cols; data; sel = None; off = 0; len = total }
+        end
+    in
+    { cols; next; close = left.close }

@@ -47,7 +47,16 @@ let rec out_cols = function
     let left_cols = out_cols left in
     left_cols @ List.filter (fun c -> not (List.mem c left_cols)) (scan_cols atom)
   | Project { out; _ } ->
-    List.map (function `Col c -> c | `Const _ -> "_const") out
+    (* constant outputs are numbered positionally so two constants in
+       one projection get distinct names; must match
+       [Relation.project] *)
+    List.rev
+      (snd
+         (List.fold_left
+            (fun (ci, acc) -> function
+              | `Col c -> ci, c :: acc
+              | `Const _ -> ci + 1, ("_const" ^ string_of_int ci) :: acc)
+            (0, []) out))
   | Distinct p | Materialize p -> out_cols p
   | Union { cols; _ } -> cols
 
@@ -69,6 +78,92 @@ let rec union_arms = function
   | Distinct p | Materialize p -> union_arms p
   | Union { inputs; _ } ->
     List.fold_left (fun n p -> max n (union_arms p)) (List.length inputs) inputs
+
+(* An injective serialisation of a plan. [pp] is for humans and
+   conflates a variable with an equally-named constant (both print as
+   the bare name), so it must never key a cache; this form
+   length-prefixes every string and tags every term/operator, making
+   it a prefix code — two distinct plans always differ. Used by the
+   executor's view store for [Materialize] fragments. *)
+let structural_key plan =
+  let buf = Buffer.create 256 in
+  let str s =
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  in
+  let term = function
+    | Query.Term.Var v ->
+      Buffer.add_char buf 'V';
+      str v
+    | Query.Term.Cst c ->
+      Buffer.add_char buf 'K';
+      str c
+  in
+  let atom = function
+    | Query.Atom.Ca (p, t) ->
+      Buffer.add_char buf 'C';
+      str p;
+      term t
+    | Query.Atom.Ra (p, t1, t2) ->
+      Buffer.add_char buf 'R';
+      str p;
+      term t1;
+      term t2
+  in
+  let strs l =
+    Buffer.add_string buf (string_of_int (List.length l));
+    Buffer.add_char buf '[';
+    List.iter str l
+  in
+  let rec go = function
+    | Scan a ->
+      Buffer.add_char buf 'S';
+      atom a
+    | Hash_join { left; right; on } ->
+      Buffer.add_char buf 'H';
+      strs on;
+      go left;
+      go right
+    | Merge_join { left; right; on } ->
+      Buffer.add_char buf 'M';
+      strs on;
+      go left;
+      go right
+    | Index_join { left; atom = a; probe_col } ->
+      Buffer.add_char buf 'I';
+      str probe_col;
+      atom a;
+      go left
+    | Project { input; out } ->
+      Buffer.add_char buf 'P';
+      Buffer.add_string buf (string_of_int (List.length out));
+      Buffer.add_char buf '[';
+      List.iter
+        (function
+          | `Col c ->
+            Buffer.add_char buf 'c';
+            str c
+          | `Const k ->
+            Buffer.add_char buf 'k';
+            str k)
+        out;
+      go input
+    | Distinct p ->
+      Buffer.add_char buf 'D';
+      go p
+    | Union { cols; inputs } ->
+      Buffer.add_char buf 'U';
+      strs cols;
+      Buffer.add_string buf (string_of_int (List.length inputs));
+      Buffer.add_char buf '(';
+      List.iter go inputs
+    | Materialize p ->
+      Buffer.add_char buf 'W';
+      go p
+  in
+  go plan;
+  Buffer.contents buf
 
 let rec pp ppf = function
   | Scan atom -> Fmt.pf ppf "Scan(%a)" Query.Atom.pp atom

@@ -30,7 +30,15 @@ val scan_cols : Query.Atom.t -> string list
     atom, in term order. *)
 
 val out_cols : t -> string list
-(** Output column names of a plan. *)
+(** Output column names of a plan. Constant projection outputs are
+    named positionally ([_const0], [_const1], ...), matching
+    {!Relation.project}. *)
+
+val structural_key : t -> string
+(** An injective serialisation of the plan (length-prefixed,
+    term-tagged — a prefix code): equal keys imply equal plans. Keys
+    the executor's materialised-view store; unlike {!pp}, it never
+    conflates a variable with an equally-named constant. *)
 
 val scan_count : t -> int
 

@@ -195,6 +195,20 @@ let role_rows t name =
     scan_wide t t.dph code (fun s o -> out := (s, o) :: !out);
     Array.of_list (List.rev !out)
 
+(* Columnar role scan: same full DPH probe as [role_rows], emitted
+   straight into two column buffers. Deliberately not cached — the
+   layout's whole point is that every role scan re-pays the wide-table
+   probing (the executor never caches RDF role accesses either). *)
+let role_cols t name =
+  match Hashtbl.find_opt t.pred_codes name with
+  | None -> [||], [||]
+  | Some code ->
+    let subs = Ibuf.create () and objs = Ibuf.create () in
+    scan_wide t t.dph code (fun s o ->
+        Ibuf.push subs s;
+        Ibuf.push objs o);
+    Ibuf.to_array subs, Ibuf.to_array objs
+
 let probe_rows t w rows pred_code emit =
   List.iter
     (fun row ->

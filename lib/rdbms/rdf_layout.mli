@@ -44,6 +44,11 @@ val role_rows : t -> string -> (int * int) array
 (** Scans the whole DPH table, probing every predicate column — the
     expensive access path this layout imposes on reformulations. *)
 
+val role_cols : t -> string -> int array * int array
+(** The same scan, emitted as (subjects, objects) column arrays for
+    the columnar executor. Fresh arrays per call — the wide-table
+    probing cost is paid on every scan by design. *)
+
 val role_lookup_subject : t -> string -> int -> (int * int) list
 (** Primary-key access: only the DPH rows of the subject are probed. *)
 

@@ -1,17 +1,55 @@
+(* Column-major storage: one unboxed [int array] per column, all of
+   length [nrows]. Operators that merely rearrange columns (project
+   without constants, column renames) alias the arrays instead of
+   copying; nothing ever mutates a relation's columns after
+   construction, so aliasing is safe. *)
 type t = {
   cols : string array;
-  rows : int array list;
+  columns : int array array;
+  nrows : int;
 }
 
-let make ~cols ~rows = { cols = Array.of_list cols; rows }
+let of_columns ~cols columns =
+  let cols = Array.of_list cols in
+  let nrows = if Array.length columns = 0 then 0 else Array.length columns.(0) in
+  if Array.length cols <> Array.length columns then
+    invalid_arg "Relation.of_columns: column-name/column-count mismatch";
+  Array.iter
+    (fun c ->
+      if Array.length c <> nrows then
+        invalid_arg "Relation.of_columns: ragged columns")
+    columns;
+  { cols; columns; nrows }
+
+let make ~cols ~rows =
+  let cols = Array.of_list cols in
+  let a = Array.length cols in
+  let nrows = List.length rows in
+  let columns = Array.init a (fun _ -> Array.make nrows 0) in
+  List.iteri
+    (fun i row ->
+      for c = 0 to a - 1 do
+        columns.(c).(i) <- row.(c)
+      done)
+    rows;
+  { cols; columns; nrows }
 
 let empty ~cols = make ~cols ~rows:[]
 
-let boolean b = { cols = [||]; rows = (if b then [ [||] ] else []) }
+let boolean b = { cols = [||]; columns = [||]; nrows = (if b then 1 else 0) }
 
 let arity r = Array.length r.cols
 
-let cardinality r = List.length r.rows
+let cardinality r = r.nrows
+
+let row r i = Array.map (fun col -> col.(i)) r.columns
+
+let rows r = List.init r.nrows (row r)
+
+(* Byte footprint of the column arrays: the LRU stores charge this as
+   the exact storage cost of a cached relation. One word per cell plus
+   the per-column array headers and the record itself. *)
+let bytes r = (8 * r.nrows * arity r) + (16 * arity r) + 64
 
 let col_index r name =
   let rec go i =
@@ -26,38 +64,55 @@ let mem_col r name = Array.exists (String.equal name) r.cols
 let common_cols r1 r2 =
   Array.to_list r1.cols |> List.filter (fun c -> mem_col r2 c)
 
+(* Keep the rows whose (absolute) indexes are listed, in list order. *)
+let gather r idxs =
+  let k = Array.length idxs in
+  {
+    r with
+    columns = Array.map (fun col -> Array.init k (fun j -> col.(idxs.(j)))) r.columns;
+    nrows = k;
+  }
+
+(* Constant columns are named positionally (_const0, _const1, ...) so
+   two constants in one projection never collide in [col_index]. The
+   numbering must match {!Plan.out_cols}. *)
+let const_name i = "_const" ^ string_of_int i
+
 let project r out =
-  let spec =
-    List.map
-      (function
-        | `Col name -> `Idx (col_index r name), name
-        | `Const v -> `Val v, "_const")
-      out
+  let n = r.nrows in
+  let _, rev =
+    List.fold_left
+      (fun (ci, acc) spec ->
+        match spec with
+        | `Col name -> ci, (name, r.columns.(col_index r name)) :: acc
+        | `Const v -> ci + 1, (const_name ci, Array.make n v) :: acc)
+      (0, []) out
   in
-  let cols = List.map snd spec in
-  let extract = List.map fst spec in
-  let rows =
-    List.map
-      (fun row ->
-        Array.of_list
-          (List.map (function `Idx i -> row.(i) | `Val v -> v) extract))
-      r.rows
-  in
-  { cols = Array.of_list cols; rows }
+  let picked = List.rev rev in
+  {
+    cols = Array.of_list (List.map fst picked);
+    columns = Array.of_list (List.map snd picked);
+    nrows = n;
+  }
 
 let distinct r =
-  let seen = Hashtbl.create (max 16 (List.length r.rows)) in
-  let rows =
-    List.filter
-      (fun row ->
-        if Hashtbl.mem seen row then false
-        else begin
-          Hashtbl.add seen row ();
-          true
-        end)
-      r.rows
-  in
-  { r with rows }
+  if r.nrows = 0 then r
+  else begin
+    let a = arity r in
+    let seen = Hashtbl.create (max 16 r.nrows) in
+    let keep = Ibuf.create ~capacity:(max 16 r.nrows) () in
+    let scratch = Array.make a 0 in
+    for i = 0 to r.nrows - 1 do
+      for c = 0 to a - 1 do
+        scratch.(c) <- r.columns.(c).(i)
+      done;
+      if not (Hashtbl.mem seen scratch) then begin
+        Hashtbl.add seen (Array.copy scratch) ();
+        Ibuf.push keep i
+      end
+    done;
+    if Ibuf.length keep = r.nrows then r else gather r (Ibuf.to_array keep)
+  end
 
 (* The inputs are merged positionally, so arity compatibility is the
    load-bearing invariant — especially for the parallel union path,
@@ -76,96 +131,207 @@ let union_all ~cols rels =
          "Relation.union_all: arity mismatch: expected %d columns [%s], got %s" a
          (String.concat "," cols)
          (String.concat " and " offending));
-  { cols = Array.of_list cols; rows = List.concat_map (fun r -> r.rows) rels }
+  let total = List.fold_left (fun n r -> n + r.nrows) 0 rels in
+  let columns = Array.init a (fun _ -> Array.make total 0) in
+  let off = ref 0 in
+  List.iter
+    (fun r ->
+      for c = 0 to a - 1 do
+        Array.blit r.columns.(c) 0 columns.(c) !off r.nrows
+      done;
+      off := !off + r.nrows)
+    rels;
+  { cols = Array.of_list cols; columns; nrows = total }
+
+let filter_indexes r pred =
+  let keep = Ibuf.create () in
+  for i = 0 to r.nrows - 1 do
+    if pred i then Ibuf.push keep i
+  done;
+  if Ibuf.length keep = r.nrows then r else gather r (Ibuf.to_array keep)
 
 let filter_const r name v =
-  let i = col_index r name in
-  { r with rows = List.filter (fun row -> row.(i) = v) r.rows }
+  let col = r.columns.(col_index r name) in
+  filter_indexes r (fun i -> col.(i) = v)
 
 let filter_eq_cols r n1 n2 =
-  let i = col_index r n1 and j = col_index r n2 in
-  { r with rows = List.filter (fun row -> row.(i) = row.(j)) r.rows }
+  let c1 = r.columns.(col_index r n1) and c2 = r.columns.(col_index r n2) in
+  filter_indexes r (fun i -> c1.(i) = c2.(i))
+
+(* The build table keeps the build side columnar: the hash table maps
+   a join key to the {e row indexes} of the build relation, and the
+   payload columns alias the build relation's non-join columns. A probe
+   therefore allocates nothing per build row — matches are gathered
+   straight out of the shared column arrays. Single-column keys (the
+   overwhelmingly common case for reformulated plans) get their own
+   int-keyed table: no per-row key array on build, no structural hash
+   over an array on either side. *)
+type key_table =
+  | Single of (int, int list) Hashtbl.t  (* 1-column join key *)
+  | Multi of (int array, int list) Hashtbl.t
 
 type build_table = {
-  table : (int array, int array list) Hashtbl.t;
+  table : key_table;  (* key -> build row indexes *)
   payload_cols : string array;  (* non-join columns of the build side *)
+  payload : int array array;  (* their column arrays (aliased) *)
 }
 
-let key_extractor r on =
-  let idxs = Array.of_list (List.map (col_index r) on) in
-  fun row -> Array.map (fun i -> row.(i)) idxs
-
 let build r ~on =
-  let key_of = key_extractor r on in
+  let key_idx = Array.of_list (List.map (col_index r) on) in
+  let nk = Array.length key_idx in
   let payload_idx =
     Array.to_list r.cols
     |> List.mapi (fun i c -> i, c)
     |> List.filter (fun (_, c) -> not (List.mem c on))
   in
   let payload_cols = Array.of_list (List.map snd payload_idx) in
-  let payload_of row = Array.of_list (List.map (fun (i, _) -> row.(i)) payload_idx) in
-  let table = Hashtbl.create (max 16 (List.length r.rows)) in
-  List.iter
-    (fun row ->
-      let k = key_of row in
-      let cur = Option.value ~default:[] (Hashtbl.find_opt table k) in
-      Hashtbl.replace table k (payload_of row :: cur))
-    r.rows;
-  { table; payload_cols }
-
-let probe ~left ~right_build ~on =
-  let key_of = key_extractor left on in
-  let cols = Array.append left.cols right_build.payload_cols in
-  let rows =
-    List.concat_map
-      (fun row ->
-        match Hashtbl.find_opt right_build.table (key_of row) with
-        | None -> []
-        | Some payloads -> List.map (fun p -> Array.append row p) payloads)
-      left.rows
+  let payload =
+    Array.of_list (List.map (fun (i, _) -> r.columns.(i)) payload_idx)
   in
-  { cols; rows }
+  let table =
+    if nk = 1 then begin
+      let col = r.columns.(key_idx.(0)) in
+      let t = Hashtbl.create (max 16 r.nrows) in
+      for i = 0 to r.nrows - 1 do
+        let k = col.(i) in
+        let cur = match Hashtbl.find_opt t k with Some l -> l | None -> [] in
+        Hashtbl.replace t k (i :: cur)
+      done;
+      Single t
+    end
+    else begin
+      let t = Hashtbl.create (max 16 r.nrows) in
+      for i = 0 to r.nrows - 1 do
+        let k = Array.init nk (fun j -> r.columns.(key_idx.(j)).(i)) in
+        let cur = match Hashtbl.find_opt t k with Some l -> l | None -> [] in
+        Hashtbl.replace t k (i :: cur)
+      done;
+      Multi t
+    end
+  in
+  { table; payload_cols; payload }
+
+(* Two passes over the probe side: count the exact output cardinality,
+   then fill exactly-sized output columns. The multi-column key lookup
+   reuses one scratch array (Hashtbl hashes it structurally), so the
+   only allocation is the output itself. *)
+let probe ~left ~right_build ~on =
+  let b = right_build in
+  let key_idx = Array.of_list (List.map (col_index left) on) in
+  let nk = Array.length key_idx in
+  let nl = arity left in
+  let np = Array.length b.payload in
+  let cols = Array.append left.cols b.payload_cols in
+  let lookup =
+    match b.table with
+    | Single t ->
+      let col = left.columns.(key_idx.(0)) in
+      fun i -> ( match Hashtbl.find_opt t col.(i) with None -> [] | Some l -> l)
+    | Multi t ->
+      let scratch = Array.make nk 0 in
+      fun i ->
+        for j = 0 to nk - 1 do
+          scratch.(j) <- left.columns.(key_idx.(j)).(i)
+        done;
+        (match Hashtbl.find_opt t scratch with None -> [] | Some l -> l)
+  in
+  let total = ref 0 in
+  for i = 0 to left.nrows - 1 do
+    total := !total + List.length (lookup i)
+  done;
+  let columns = Array.init (nl + np) (fun _ -> Array.make !total 0) in
+  let o = ref 0 in
+  for i = 0 to left.nrows - 1 do
+    List.iter
+      (fun bi ->
+        for c = 0 to nl - 1 do
+          columns.(c).(!o) <- left.columns.(c).(i)
+        done;
+        for c = 0 to np - 1 do
+          columns.(nl + c).(!o) <- b.payload.(c).(bi)
+        done;
+        incr o)
+      (lookup i)
+  done;
+  { cols; columns; nrows = !total }
 
 let hash_join r1 r2 ~on = probe ~left:r1 ~right_build:(build r2 ~on) ~on
 
 let merge_join r1 r2 ~on =
-  let key1 = key_extractor r1 on and key2 = key_extractor r2 on in
+  let k1 = Array.of_list (List.map (col_index r1) on) in
+  let k2 = Array.of_list (List.map (col_index r2) on) in
+  let nk = Array.length k1 in
   let payload_idx =
     Array.to_list r2.cols
     |> List.mapi (fun i c -> i, c)
     |> List.filter (fun (_, c) -> not (List.mem c on))
   in
-  let payload_of row = Array.of_list (List.map (fun (i, _) -> row.(i)) payload_idx) in
-  let cols = Array.append r1.cols (Array.of_list (List.map snd payload_idx)) in
-  let sorted r key = List.sort (fun a b -> compare (key a) (key b)) r.rows in
-  let l1 = Array.of_list (sorted r1 key1) and l2 = Array.of_list (sorted r2 key2) in
-  let n1 = Array.length l1 and n2 = Array.length l2 in
-  let rows = ref [] in
+  let np = List.length payload_idx in
+  let cols =
+    Array.append r1.cols (Array.of_list (List.map snd payload_idx))
+  in
+  let payload =
+    Array.of_list (List.map (fun (i, _) -> r2.columns.(i)) payload_idx)
+  in
+  (* sort row-index permutations of both sides by join key *)
+  let key_cmp columns keys i j =
+    let rec go c =
+      if c >= nk then 0
+      else
+        let d = compare columns.(keys.(c)).(i) columns.(keys.(c)).(j) in
+        if d <> 0 then d else go (c + 1)
+    in
+    go 0
+  in
+  let idx1 = Array.init r1.nrows Fun.id and idx2 = Array.init r2.nrows Fun.id in
+  Array.sort (key_cmp r1.columns k1) idx1;
+  Array.sort (key_cmp r2.columns k2) idx2;
+  let cross_cmp i j =
+    let rec go c =
+      if c >= nk then 0
+      else
+        let d = compare r1.columns.(k1.(c)).(i) r2.columns.(k2.(c)).(j) in
+        if d <> 0 then d else go (c + 1)
+    in
+    go 0
+  in
   (* advance two cursors; on equal keys, emit the product of the two
-     equal-key groups *)
+     equal-key groups as (left row, right row) index pairs *)
+  let li = Ibuf.create () and ri = Ibuf.create () in
+  let n1 = Array.length idx1 and n2 = Array.length idx2 in
   let rec go i j =
     if i >= n1 || j >= n2 then ()
     else
-      let k1 = key1 l1.(i) and k2 = key2 l2.(j) in
-      let c = compare k1 k2 in
+      let c = cross_cmp idx1.(i) idx2.(j) in
       if c < 0 then go (i + 1) j
       else if c > 0 then go i (j + 1)
       else begin
-        let rec group_end arr n key k idx =
-          if idx < n && key arr.(idx) = k then group_end arr n key k (idx + 1) else idx
+        let rec group_end columns keys idx n at pos =
+          if pos < n && key_cmp columns keys idx.(at) idx.(pos) = 0 then
+            group_end columns keys idx n at (pos + 1)
+          else pos
         in
-        let i_end = group_end l1 n1 key1 k1 i in
-        let j_end = group_end l2 n2 key2 k2 j in
+        let i_end = group_end r1.columns k1 idx1 n1 i i in
+        let j_end = group_end r2.columns k2 idx2 n2 j j in
         for a = i to i_end - 1 do
           for b = j to j_end - 1 do
-            rows := Array.append l1.(a) (payload_of l2.(b)) :: !rows
+            Ibuf.push li idx1.(a);
+            Ibuf.push ri idx2.(b)
           done
         done;
         go i_end j_end
       end
   in
   go 0 0;
-  { cols; rows = List.rev !rows }
+  let total = Ibuf.length li in
+  let nl = arity r1 in
+  let columns =
+    Array.init (nl + np) (fun c ->
+        if c < nl then
+          Array.init total (fun o -> r1.columns.(c).(Ibuf.get li o))
+        else Array.init total (fun o -> payload.(c - nl).(Ibuf.get ri o)))
+  in
+  { cols; columns; nrows = total }
 
 let pp ppf r =
   Fmt.pf ppf "@[<v>%a (%d rows)@]"

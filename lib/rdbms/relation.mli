@@ -1,15 +1,28 @@
 (** Materialised relations: named columns over dictionary-encoded
-    integer values. The unit of data exchanged between physical
-    operators. *)
+    integer values, stored {e column-major} — one unboxed [int array]
+    per column. The unit of data exchanged between physical operators
+    (batch views into these columns are cut by {!Batch}).
+
+    Relations are immutable by convention: no function in this module
+    (or anywhere in the engine) writes into a relation's columns after
+    construction, which lets operators alias columns instead of
+    copying (projection, renames, build-side payloads). *)
 
 type t = {
   cols : string array;  (** column names (query variable names) *)
-  rows : int array list;  (** each row has [Array.length cols] fields *)
+  columns : int array array;
+      (** [columns.(i)] is column [i]; every column has length
+          [nrows]. Treat as read-only. *)
+  nrows : int;  (** number of rows *)
 }
 
+val of_columns : cols:string list -> int array array -> t
+(** A relation adopting the given column arrays (no copying). Raises
+    [Invalid_argument] on a name/column count mismatch or ragged
+    columns. *)
+
 val make : cols:string list -> rows:int array list -> t
-(** A relation from its column names and rows (no copying, no
-    validation beyond use). *)
+(** A relation from row-major tuples (transposed into columns). *)
 
 val empty : cols:string list -> t
 (** The empty relation over the given columns. *)
@@ -22,7 +35,18 @@ val arity : t -> int
 
 val cardinality : t -> int
 (** Number of rows (a bag count — apply {!distinct} for set
-    semantics). *)
+    semantics). O(1). *)
+
+val bytes : t -> int
+(** Byte footprint of the column storage (words per cell plus array
+    headers) — the cost the LRU stores charge for a cached relation. *)
+
+val row : t -> int -> int array
+(** [row r i] materialises row [i] as a fresh tuple. *)
+
+val rows : t -> int array list
+(** All rows, row-major (materialised — for tests, decoding and
+    debugging, not for hot paths). *)
 
 val col_index : t -> string -> int
 (** Raises [Not_found] when the column does not exist. *)
@@ -33,9 +57,15 @@ val mem_col : t -> string -> bool
 val common_cols : t -> t -> string list
 (** Column names present in both relations, in first-relation order. *)
 
+val gather : t -> int array -> t
+(** [gather r idxs] keeps exactly the rows whose indexes are listed,
+    in list order (fresh columns). *)
+
 val project : t -> [ `Col of string | `Const of int ] list -> t
-(** Projection; [`Const] emits a constant column (used for head
-    constants introduced by reformulation). *)
+(** Projection; [`Col] forwards (aliases) a column, [`Const] emits a
+    constant column (used for head constants introduced by
+    reformulation). Constant columns are named positionally
+    ([_const0], [_const1], ...) matching {!Plan.out_cols}. *)
 
 val distinct : t -> t
 (** Set semantics: removes duplicate rows (hash-based). *)
@@ -49,9 +79,23 @@ val filter_const : t -> string -> int -> t
 val filter_eq_cols : t -> string -> string -> t
 (** Keeps rows where the two columns are equal. *)
 
-type build_table
+type key_table =
+  | Single of (int, int list) Hashtbl.t
+      (** single-column join key: int-keyed, no per-row key allocation
+          and no structural hash over an array *)
+  | Multi of (int array, int list) Hashtbl.t
+      (** general case: the key is the tuple of join-column values *)
+
+type build_table = {
+  table : key_table;  (** join key -> row indexes of the build relation *)
+  payload_cols : string array;  (** non-join columns of the build side *)
+  payload : int array array;
+      (** their column arrays, aliased from the build relation *)
+}
 (** A hash table built on the join key of one relation, reusable across
-    probes (DB2-style repeated-scan/build sharing). *)
+    probes (DB2-style repeated-scan/build sharing). The fields are
+    exposed read-only for the batch-at-a-time probe operator in
+    {!Physical}. *)
 
 val build : t -> on:string list -> build_table
 (** Builds the join hash table of a relation on the given columns. *)

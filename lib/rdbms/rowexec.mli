@@ -1,0 +1,15 @@
+(** The legacy materialised-row execution engine, retained after the
+    columnar refactor for two purposes: the row-vs-batch engine
+    benchmark (bench experiment E15) and an independent implementation
+    of plan semantics for the batch engine's qcheck equivalence
+    properties. Sequential, uncached, one boxed array per intermediate
+    row — exactly the cost profile the columnar engine replaces. Not a
+    public answering path; {!Exec} is the default engine. *)
+
+val run : Layout.t -> Plan.t -> Relation.t
+(** Evaluates the plan row-at-a-time with full materialisation between
+    operators. Produces the same bag of rows as {!Exec.run} (modulo
+    row order). *)
+
+val answers : Layout.t -> Plan.t -> string list list
+(** Like {!Exec.answers}: distinct, dictionary-decoded, sorted. *)

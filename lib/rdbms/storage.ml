@@ -21,6 +21,9 @@ type role_table = {
   by_object : (int, (int * int) array) Hashtbl.t option Atomic.t;
   hist_subject : Histogram.t option Atomic.t;  (* lazy column histograms *)
   hist_object : Histogram.t option Atomic.t;
+  columns : (int array * int array) option Atomic.t;
+      (* lazy columnar projection: (subjects, objects) split out of
+         [pairs] once, shared zero-copy by every scan of the role *)
 }
 
 type t = {
@@ -51,6 +54,7 @@ let fresh_role_table pairs r_stats =
     by_object = Atomic.make None;
     hist_subject = Atomic.make None;
     hist_object = Atomic.make None;
+    columns = Atomic.make None;
   }
 
 let of_abox abox =
@@ -142,6 +146,18 @@ let role_lookup_object_arr t name obj =
     let idx = force_index rt.by_object (fun () -> group_by snd rt.pairs) in
     Option.value ~default:empty_pairs (Hashtbl.find_opt idx obj)
 
+let empty_cols : int array * int array = [||], [||]
+
+(* Columnar projection of a role table, built once per pairs snapshot
+   (CAS-published like the hash indexes, invalidated by insertion).
+   Scan relations alias these arrays directly. *)
+let role_cols t name =
+  match Hashtbl.find_opt t.roles name with
+  | None -> empty_cols
+  | Some rt ->
+    force_index rt.columns (fun () ->
+        (Array.map fst rt.pairs, Array.map snd rt.pairs))
+
 let role_lookup_subject t name subj =
   Array.to_list (role_lookup_subject_arr t name subj)
 
@@ -213,9 +229,11 @@ let insert_role t ~role ~subj ~obj =
     in
     extend rt.by_subject s;
     extend rt.by_object o;
-    (* histograms are summaries; rebuild lazily after updates *)
+    (* histograms and columnar projections are derived snapshots;
+       rebuild lazily after updates *)
     Atomic.set rt.hist_subject None;
     Atomic.set rt.hist_object None;
+    Atomic.set rt.columns None;
     t.total_facts <- t.total_facts + 1;
     true
   end

@@ -27,6 +27,13 @@ val concept_rows : t -> string -> int array
 val role_rows : t -> string -> (int * int) array
 (** Duplicate-free pairs of the role. *)
 
+val role_cols : t -> string -> int array * int array
+(** The role's (subjects, objects) as two column arrays — the
+    columnar projection of {!role_rows}, built lazily once per table
+    snapshot (safe to race from parallel plan arms, invalidated by
+    {!insert_role}). Scan operators alias the arrays; callers must not
+    mutate them. *)
+
 val concept_stats : t -> string -> table_stats
 (** Cardinality and distinct counts of a concept table. *)
 

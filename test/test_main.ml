@@ -7,6 +7,7 @@ let () =
       "reform", Test_reform.suite;
       "covers", Test_cover.suite;
       "rdbms", Test_rdbms.suite;
+      "batch", Test_batch.suite;
       "optimizer", Test_optimizer.suite;
       "obda", Test_obda.suite;
       "lubm", Test_lubm.suite;

@@ -381,9 +381,9 @@ let test_golden_join () =
          })
   in
   Alcotest.(check string) "join under project/distinct"
-    "Distinct  (cost=15 rows=1)\n\
+    "Distinct  (cost=14 rows=1)\n\
      \  Project [x]\n\
-     \    Hash Join on [y]  (cost=12 rows=1)\n\
+     \    Hash Join on [y]  (cost=11 rows=1)\n\
      \      Scan worksWith(x,y)  (cost=2 rows=1)\n\
      \      Scan supervisedBy(z,y)  (cost=3 rows=2)\n"
     (render plan)
@@ -450,12 +450,50 @@ let test_golden_analyze () =
     scrub_times (Rdbms.Explain.render_analyze Rdbms.Explain.pglite layout stats)
   in
   Alcotest.(check string) "analyze rendering (times scrubbed)"
-    "Distinct  est(cost=14 rows=1)  act(rows=1 time=Xms)  q-err=1.00\n\
-     \  Hash Join on [y]  est(cost=12 rows=1)  act(rows=1 time=Xms, build miss)  \
+    "Distinct  est(cost=13 rows=1)  act(rows=1 time=Xms)  q-err=1.00\n\
+     \  Hash Join on [y]  est(cost=11 rows=1)  act(rows=1 time=Xms, build miss)  \
      q-err=1.00\n\
      \    Scan worksWith(x,y)  est(cost=2 rows=1)  act(rows=1 time=Xms, scan \
      miss)  q-err=1.00\n"
     rendered
+
+(* The batch engine's pipelined index join plus a Materialize fragment
+   served by the view store: the first execution misses, the second is
+   answered from the store (view hit, no children re-executed). *)
+let test_golden_analyze_physical () =
+  let layout = golden_layout () in
+  let plan =
+    Rdbms.Plan.Distinct
+      (Rdbms.Plan.Index_join
+         {
+           left = Rdbms.Plan.Materialize (Rdbms.Plan.Scan (ra "worksWith" (v "x") (v "y")));
+           atom = ra "supervisedBy" (v "z") (v "y");
+           probe_col = "y";
+         })
+  in
+  let views = Rdbms.Exec.fresh_view_store () in
+  let render () =
+    let _, stats =
+      Rdbms.Exec.run_analyzed ~config:Rdbms.Exec.db2_like ~views layout plan
+    in
+    scrub_times (Rdbms.Explain.render_analyze Rdbms.Explain.pglite layout stats)
+  in
+  Alcotest.(check string) "first run misses the view store"
+    "Distinct  est(cost=10 rows=1)  act(rows=1 time=Xms)  q-err=1.00\n\
+     \  Index Join probe y into supervisedBy(z,y)  est(cost=8 rows=1)  \
+     act(rows=1 time=Xms)  q-err=1.00\n\
+     \    Materialize  est(cost=4 rows=1)  act(rows=1 time=Xms, view miss)  \
+     q-err=1.00\n\
+     \      Scan worksWith(x,y)  est(cost=2 rows=1)  act(rows=1 time=Xms, \
+     scan miss)  q-err=1.00\n"
+    (render ());
+  Alcotest.(check string) "second run hits the view store"
+    "Distinct  est(cost=10 rows=1)  act(rows=1 time=Xms)  q-err=1.00\n\
+     \  Index Join probe y into supervisedBy(z,y)  est(cost=8 rows=1)  \
+     act(rows=1 time=Xms)  q-err=1.00\n\
+     \    Materialize  est(cost=4 rows=1)  act(rows=1 time=Xms, view hit)  \
+     q-err=1.00\n"
+    (render ())
 
 let test_analyze_json_valid () =
   let layout, plan = example1_plan () in
@@ -504,6 +542,8 @@ let suite =
     Alcotest.test_case "explain golden: union elision" `Quick
       test_golden_union_elision;
     Alcotest.test_case "explain golden: analyze" `Quick test_golden_analyze;
+    Alcotest.test_case "explain golden: analyze index join + view store" `Quick
+      test_golden_analyze_physical;
     Alcotest.test_case "explain: JSON renderings are valid" `Quick
       test_analyze_json_valid;
     Alcotest.test_case "explain: q-error" `Quick test_q_error;

@@ -10,7 +10,7 @@ let check_int = Alcotest.(check int)
 
 let rel cols rows = Relation.make ~cols ~rows:(List.map Array.of_list rows)
 
-let rows_set r = List.sort_uniq compare (List.map Array.to_list r.Relation.rows)
+let rows_set r = List.sort_uniq compare (List.map Array.to_list (Relation.rows r))
 
 let test_relation_basics () =
   let r = rel [ "x"; "y" ] [ [ 1; 2 ]; [ 1; 2 ]; [ 3; 4 ] ] in
