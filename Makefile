@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test doc bench-smoke bench-replay bench-engine bench ci clean
+.PHONY: all build test doc bench-smoke bench-replay bench-engine bench-sip bench ci clean
 
 all: build
 
@@ -37,11 +37,20 @@ bench-engine: build
 	$(DUNE) exec bench/main.exe -- --exp engine --small 5000 \
 	  --json BENCH_PR4.json
 
+# The E16 SIP comparison: identical physical plans executed with and
+# without Sip_pass reducer annotations on the join-heavy workload
+# queries, per strategy, with rows-pruned / arms-elided counts from
+# EXPLAIN ANALYZE recorded to BENCH_PR5.json. Fails if the reducers
+# change any answer set or fewer than two pairs reach 1.3x.
+bench-sip: build
+	$(DUNE) exec bench/main.exe -- --exp sip --small 5000 \
+	  --json BENCH_PR5.json
+
 # The full benchmark suite at the default (sequential) job count.
 bench: build
 	$(DUNE) exec bench/main.exe
 
-ci: test doc bench-smoke bench-replay bench-engine
+ci: test doc bench-smoke bench-replay bench-engine bench-sip
 
 clean:
 	$(DUNE) clean

@@ -13,6 +13,7 @@
      E13 calibration §6.3      — cardinality q-errors via EXPLAIN ANALYZE
      E14 replay      —         — plan cache under Zipf-skewed repeated queries
      E15 engine      —         — materialised-row vs columnar-batch execution
+     E16 sip         —         — sideways information passing on/off
 
    Usage: main.exe [--exp ID]… [--small N] [--large N] [--seed S]
                    [--jobs N] [--json FILE] [--metrics FILE] [--bechamel]
@@ -95,12 +96,17 @@ let write_json () =
       \  \"large_facts\": %d,\n\
       \  \"jobs\": %d,\n\
       \  \"recommended_jobs\": %d,\n\
+      \  \"host_cores\": %d,\n\
+      \  \"ocaml_version\": %S,\n\
+      \  \"word_size\": %d,\n\
       \  \"records\": [\n\
       \    %s\n\
       \  ]\n\
        }\n"
       !seed !small_facts !large_facts !jobs
       (Parallel.recommended_jobs ())
+      (Domain.recommended_domain_count ())
+      Sys.ocaml_version Sys.word_size
       (String.concat ",\n    " (List.rev !json_records));
     close_out oc;
     Fmt.pr "[json] wrote %d records to %s@." (List.length !json_records) file
@@ -728,6 +734,124 @@ let exp_engine () =
       | None -> ())
     strategy_columns
 
+(* {1 E16 — sideways information passing: semijoin reducers on/off} *)
+
+(* The same physical plans with and without the Sip_pass annotation:
+   join-heavy workload queries, reformulations whose union arms make
+   per-arm pruning pay (Croot and GDL/ext), sequential on the
+   Postgres-like profile so the comparison isolates the reducers.
+   Answers must agree exactly; an ANALYZE run of the annotated plan
+   reports how many rows the reducers dropped at the scans and how
+   many union arms were elided without being opened. *)
+let exp_sip () =
+  Fmt.pr "@.== E16: sideways information passing — semijoin reducers on/off ==@.";
+  Fmt.pr "   (identical plans, sequential, pglite/simple: bare execution vs@.";
+  Fmt.pr "    Sip_pass-annotated plans pushing reducers into scans and union@.";
+  Fmt.pr "    arms; pruned/elided counts come from EXPLAIN ANALYZE)@.@.";
+  let engine = engine_for `Pglite `Simple !small_facts in
+  let layout = Obda.layout engine in
+  let config = (Obda.profile engine).Rdbms.Explain.exec_config in
+  let model = Cost.Cost_model.calibrated `Pglite in
+  let joiny =
+    List.filter
+      (fun e -> List.length (Query.Cq.atoms e.Lubm.Workload.query) >= 2)
+      Lubm.Workload.queries
+  in
+  let median3 f =
+    let once () =
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      (Unix.gettimeofday () -. t0) *. 1000.
+    in
+    let t1 = once () in
+    let t2 = once () in
+    let t3 = once () in
+    List.nth (List.sort Float.compare [ t1; t2; t3 ]) 1
+  in
+  let strategies = [ "Croot", Obda.Croot; "GDL/ext", Obda.Gdl Obda.Ext_cost ] in
+  let totals = Hashtbl.create 4 in
+  let winners = ref 0 in
+  Fmt.pr "%-8s %-4s %10s %10s %9s %10s %7s %9s@." "strategy" "qry" "off(ms)"
+    "on(ms)" "speedup" "pruned" "elided" "reducers";
+  List.iter
+    (fun (sname, strategy) ->
+      List.iter
+        (fun e ->
+          let q = e.Lubm.Workload.query in
+          let fol = Obda.reformulate engine tbox strategy q in
+          let plan = Rdbms.Planner.of_fol layout fol in
+          let sipped = Cost.Sip_pass.annotate ~model layout plan in
+          if
+            Rdbms.Exec.answers ~config ~jobs:1 layout sipped
+            <> Rdbms.Exec.answers ~config ~jobs:1 layout plan
+          then
+            failwith
+              (Printf.sprintf "E16: reducers changed answers on %s %s" sname
+                 e.Lubm.Workload.name);
+          let off_ms =
+            median3 (fun () -> Rdbms.Exec.run ~config ~jobs:1 layout plan)
+          in
+          let on_ms =
+            median3 (fun () -> Rdbms.Exec.run ~config ~jobs:1 layout sipped)
+          in
+          let _, stats = Rdbms.Exec.run_analyzed ~config layout sipped in
+          let rec fold f acc (s : Rdbms.Exec.node_stats) =
+            List.fold_left (fold f) (acc + f s) s.Rdbms.Exec.children
+          in
+          let pruned = fold (fun s -> s.Rdbms.Exec.sip_pruned) 0 stats in
+          let elided = fold (fun s -> s.Rdbms.Exec.sip_elided) 0 stats in
+          let reducers =
+            fold
+              (fun s -> if s.Rdbms.Exec.sip_reducer <> None then 1 else 0)
+              0 stats
+          in
+          let speedup = off_ms /. Float.max 0.001 on_ms in
+          if speedup >= 1.3 then incr winners;
+          let toff, ton, tp, te =
+            Option.value ~default:(0., 0., 0, 0) (Hashtbl.find_opt totals sname)
+          in
+          Hashtbl.replace totals sname
+            (toff +. off_ms, ton +. on_ms, tp + pruned, te + elided);
+          record_json
+            [ "exp", "\"sip\"";
+              "query", Printf.sprintf "%S" e.Lubm.Workload.name;
+              "strategy", Printf.sprintf "%S" sname;
+              "off_ms", Printf.sprintf "%.3f" off_ms;
+              "on_ms", Printf.sprintf "%.3f" on_ms;
+              "speedup", Printf.sprintf "%.3f" speedup;
+              "sip_pruned", string_of_int pruned;
+              "sip_elided", string_of_int elided;
+              "sip_reducers", string_of_int reducers ];
+          Fmt.pr "%-8s %-4s %10.2f %10.2f %8.2fx %10d %7d %9d@." sname
+            e.Lubm.Workload.name off_ms on_ms speedup pruned elided reducers)
+        joiny)
+    strategies;
+  Fmt.pr "@.totals per strategy (reducers off vs on):@.";
+  List.iter
+    (fun (sname, _) ->
+      match Hashtbl.find_opt totals sname with
+      | Some (toff, ton, tp, te) ->
+        record_json
+          [ "exp", "\"sip\"";
+            "query", "\"TOTAL\"";
+            "strategy", Printf.sprintf "%S" sname;
+            "off_ms", Printf.sprintf "%.3f" toff;
+            "on_ms", Printf.sprintf "%.3f" ton;
+            "speedup", Printf.sprintf "%.3f" (toff /. Float.max 0.001 ton);
+            "sip_pruned", string_of_int tp;
+            "sip_elided", string_of_int te ];
+        Fmt.pr "  %-8s %10.1f ms -> %10.1f ms (%.2fx); pruned %d rows, elided %d arms@."
+          sname toff ton (toff /. Float.max 0.001 ton) tp te
+      | None -> ())
+    strategies;
+  record_json
+    [ "exp", "\"sip\"";
+      "query", "\"SUMMARY\"";
+      "pairs_at_1_3x", string_of_int !winners ];
+  Fmt.pr "@.%d query/strategy pairs at >= 1.30x with identical answers@." !winners;
+  if !winners < 2 then
+    failwith "E16: fewer than two pairs reached the 1.3x reducer speedup"
+
 (* {1 Bechamel micro-benchmarks (one group per table/figure)} *)
 
 let bechamel_suite () =
@@ -806,6 +930,7 @@ let experiments =
     "calibration", exp_calibration;
     "replay", exp_replay;
     "engine", exp_engine;
+    "sip", exp_sip;
   ]
 
 let () =
@@ -818,7 +943,7 @@ let () =
       "--exp", Arg.String (fun s -> selected := s :: !selected),
         " run one experiment (table6, edl-vs-gdl, fig2-small, fig2-large, \
          fig3-small, fig3-large, gdl-time, anatomy, ablation-gq, uscq, views, \
-         saturation, calibration, replay, engine)";
+         saturation, calibration, replay, engine, sip)";
       "--small", Arg.Set_int small_facts, " facts in the small dataset (default 30000)";
       "--large", Arg.Set_int large_facts, " facts in the large dataset (default 120000)";
       "--seed", Arg.Set_int seed, " generator seed (default 42)";

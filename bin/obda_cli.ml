@@ -259,7 +259,17 @@ let explain_cmd =
     let est = Obda.estimator engine Obda.Rdbms_cost in
     let ext = Obda.estimator engine Obda.Ext_cost in
     let profile = Obda.profile engine and lay = Obda.layout engine in
+    (* mirror Obda.answer: explain what the engine will actually run,
+       including the SIP reducer annotations (on by default) *)
     let plan = Rdbms.Planner.of_fol lay fol in
+    let plan =
+      if Obda.sip_enabled engine then
+        Cost.Sip_pass.annotate
+          ~model:(Cost.Cost_model.calibrated (match engine_kind with
+            | `Pglite -> `Pglite | `Db2lite -> `Db2lite))
+          lay plan
+      else plan
+    in
     let stats =
       if analyze then
         let _, stats =

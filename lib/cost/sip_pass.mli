@@ -1,0 +1,15 @@
+(** Optimizer pass choosing sideways-information-passing annotations
+    ({!Rdbms.Plan.Sip}).
+
+    For every single-column equijoin in a plan the pass estimates, from
+    the layout's cardinality/distinct-count statistics and the
+    calibrated cost model, the net work saved by building a semijoin
+    reducer on one side and pushing it into the other — and wraps the
+    join in a [Sip] node for the more profitable direction when the
+    gain clears a fixed threshold. The annotation is purely advisory:
+    the executor returns identical answers with or without it. *)
+
+val annotate : ?model:Cost_model.t -> Rdbms.Layout.t -> Rdbms.Plan.t -> Rdbms.Plan.t
+(** [annotate ~model layout plan] returns [plan] with profitable joins
+    wrapped in {!Rdbms.Plan.Sip} annotations ([model] defaults to
+    {!Cost_model.default}). Idempotent; existing annotations are kept. *)

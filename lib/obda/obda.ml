@@ -13,6 +13,7 @@ type engine = {
   id : int;  (* process-unique, a component of plan-cache keys *)
   mutable generation : int;  (* KB generation: bumped on every insert *)
   mutable views : Rdbms.Exec.view_store option;
+  mutable sip : bool;  (* sideways-information-passing annotations *)
 }
 
 let next_engine_id = Atomic.make 0
@@ -35,6 +36,7 @@ let make_engine kind layout_kind abox =
     id = Atomic.fetch_and_add next_engine_id 1;
     generation = 0;
     views = None;
+    sip = true;
   }
 
 let generation e = e.generation
@@ -66,6 +68,10 @@ let enable_fragment_views e =
   end
 
 let disable_fragment_views e = e.views <- None
+
+let set_sip e enabled = e.sip <- enabled
+
+let sip_enabled e = e.sip
 
 let fragment_view_count e =
   match e.views with None -> 0 | Some store -> Cache.Lru.length store
@@ -216,6 +222,18 @@ let answer e tbox strategy q =
            sql_bytes)
     | _ ->
       let plan = Rdbms.Planner.of_fol e.layout reformulation in
+      (* annotation happens after the plan cache (which stores the
+         reformulation, not the physical plan), so toggling SIP takes
+         effect immediately even on cached plans *)
+      let plan =
+        if e.sip then
+          let model =
+            Cost.Cost_model.calibrated
+              (match e.kind with `Pglite -> `Pglite | `Db2lite -> `Db2lite)
+          in
+          Cost.Sip_pass.annotate ~model e.layout plan
+        else plan
+      in
       Ok
         (Rdbms.Exec.answers ~config:e.profile.Rdbms.Explain.exec_config
            ?views:e.views e.layout plan)

@@ -131,3 +131,18 @@ val disable_fragment_views : engine -> unit
 
 val fragment_view_count : engine -> int
 (** Number of distinct fragments currently materialised. *)
+
+(** {2 Sideways information passing}
+
+    When enabled (the default), {!answer} runs the
+    {!Cost.Sip_pass.annotate} optimizer pass over each physical plan:
+    profitable joins get semijoin-reducer annotations that the
+    executor turns into scan filters and union-arm elision. Purely a
+    performance lever — answers are identical either way. *)
+
+val set_sip : engine -> bool -> unit
+(** Toggle the SIP annotation pass for subsequent {!answer} calls.
+    Takes effect immediately (plans are annotated after the plan
+    cache, which stores only reformulations). *)
+
+val sip_enabled : engine -> bool

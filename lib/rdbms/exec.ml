@@ -45,6 +45,22 @@ let m_build_hits =
 let m_union_arms =
   Obs.Metrics.counter ~help:"union arms evaluated" "exec.union.arms"
 
+(* Sideways information passing: reducers built, rows their filters
+   dropped, union arms never opened because a reducer proved them
+   empty. All three are deterministic at any job count (reducers and
+   elision decisions are functions of plan + data). *)
+let m_sip_reducers =
+  Obs.Metrics.counter ~help:"semijoin reducers built for sideways passing"
+    "sip.reducers"
+
+let m_sip_pruned =
+  Obs.Metrics.counter ~help:"rows pruned by sideways reducer filters"
+    "sip.rows_pruned"
+
+let m_sip_elided =
+  Obs.Metrics.counter ~help:"union arms elided as provably empty under a reducer"
+    "sip.arms_elided"
+
 let fresh_counters () =
   {
     scans = Atomic.make 0;
@@ -80,6 +96,11 @@ type ctx = {
   builds : (string, Relation.build_table) Cache.Lru.t;
   views : view_store option;  (* cross-query materialised fragments *)
   jobs : int;  (* parallelism for union arms; 1 = sequential *)
+  sip_memo : (string, bool) Hashtbl.t;
+      (* (reducer id, stored column) -> does the reducer intersect it?
+         Shared across the arms of one run; mutex-protected because
+         nested unions can run the emptiness test on pool domains. *)
+  sip_lock : Mutex.t;
 }
 
 let fresh_run_caches () =
@@ -197,9 +218,12 @@ let payload_rename actual_cols c =
   else c
 
 (* A cached (or freshly built) build table for a base-scan build side,
-   plus the probe operator over it. The probe pipelines: the build is
-   the only materialisation point. *)
-let probe_cached ctx left_op atom on =
+   plus the rename mapping its canonical payload columns back to the
+   atom's variables. The probe over it pipelines: the build is the
+   only materialisation point. The stored table is always built from
+   the {e unfiltered} canonical scan — sideways reducers must never
+   leak into a cache entry keyed without them. *)
+let build_cached ctx atom on =
   let actual_cols = Array.of_list (Plan.scan_cols atom) in
   let position_of c =
     let rec find i =
@@ -229,7 +253,12 @@ let probe_cached ctx left_op atom on =
       if use_cache then Cache.Lru.add ctx.builds key b;
       b, (if use_cache then Miss else Uncached)
   in
-  Physical.probe ~rename:(payload_rename actual_cols) left_op ~build ~on, outcome
+  build, outcome, payload_rename actual_cols
+
+let build_key_count (b : Relation.build_table) =
+  match b.Relation.table with
+  | Relation.Single tbl -> Hashtbl.length tbl
+  | Relation.Multi tbl -> Hashtbl.length tbl
 
 (* Index nested loop over a role atom: pipelined — every batch of the
    left stream probes the index on the side named by [probe_col]. *)
@@ -253,6 +282,171 @@ let index_join_op ctx left_op atom probe_col =
   Physical.index_join ~lookup ~other_of ~dict_find:(Dllite.Dict.find dict) left_op
     atom probe_col
 
+(* {2 Sideways information passing}
+
+   A [Plan.Sip] annotation on a join makes the compiler build a
+   compact key-set reducer ({!Sip.t}) from the source side's join
+   column and push it into the other side's subtree as a reducer
+   environment [senv]: column name -> reducer. At a [Scan] the
+   matching bindings wrap the stream in selection-vector filters;
+   [Project], [Distinct] and [Materialize] pass the environment
+   through; at a [Union] it is remapped positionally into every arm,
+   and an arm whose reducer-filtered base accesses are provably empty
+   is never compiled at all. Reducers are immutable after
+   construction, so they cross parallel union arms without
+   synchronisation. Every cache-write site (scan cache, build cache,
+   view store) stores {e unfiltered} data, so dropping or adding a
+   binding anywhere is sound: reducers only prune, never invent. *)
+
+type senv = (string * Sip.t) list
+
+let restrict (env : senv) cols = List.filter (fun (c, _) -> List.mem c cols) env
+
+(* Union output column i is arm output column i. *)
+let remap_env (env : senv) cols arm_cols : senv =
+  List.filter_map
+    (fun (c, r) ->
+      let rec pos i = function
+        | [] -> None
+        | c' :: rest -> if String.equal c c' then Some i else pos (i + 1) rest
+      in
+      match pos 0 cols with
+      | None -> None
+      | Some i ->
+        (match List.nth_opt arm_cols i with
+        | Some ac -> Some (ac, r)
+        | None -> None))
+    env
+
+let empty_op cols = Physical.of_relation (Relation.empty ~cols)
+
+(* Wrap [op] in one selection filter per binding that names one of its
+   columns. [on_pruned] additionally feeds the per-node EXPLAIN
+   ANALYZE counter. *)
+let apply_sip ?on_pruned (env : senv) op =
+  List.fold_left
+    (fun op (c, r) ->
+      if Array.exists (String.equal c) op.Physical.cols then begin
+        let tally n =
+          Obs.Metrics.add m_sip_pruned n;
+          match on_pruned with
+          | Some f -> f n
+          | None -> ()
+        in
+        Physical.sip_filter op ~col:c ~reducer:r ~tally
+      end
+      else op)
+    op env
+
+let dict_domain ctx = Dllite.Dict.size (Layout.dict ctx.layout)
+
+let reducer_of_array ctx keys =
+  Obs.Metrics.incr m_sip_reducers;
+  Sip.of_array ~domain:(dict_domain ctx) keys
+
+let reducer_of_relation ctx rel c =
+  reducer_of_array ctx rel.Relation.columns.(Relation.col_index rel c)
+
+(* A reducer straight off a single-column build table's key set —
+   exactly the distinct join keys, no rescan of the build relation.
+   Multi-column keys never carry a SIP annotation. *)
+let reducer_of_build ctx (b : Relation.build_table) =
+  match b.Relation.table with
+  | Relation.Multi _ -> None
+  | Relation.Single tbl ->
+    Obs.Metrics.incr m_sip_reducers;
+    Some
+      (Sip.of_iter ~domain:(dict_domain ctx) ~count:(Hashtbl.length tbl) (fun f ->
+           Hashtbl.iter (fun k _ -> f k) tbl))
+
+(* The index side of an annotated index join: the reducer is the
+   stored role's probe-side column. Simple layout only — on the RDF
+   layout [role_cols] re-pays the wide-table extraction the index
+   exists to avoid. *)
+let index_reducer ctx atom probe_col =
+  match ctx.layout with
+  | Layout.Rdf _ -> None
+  | Layout.Simple _ -> (
+    match atom with
+    | Atom.Ra (p, Term.Var v, _) when v = probe_col ->
+      Some (reducer_of_array ctx (fst (Layout.role_cols ctx.layout p)))
+    | Atom.Ra (p, _, Term.Var v) when v = probe_col ->
+      Some (reducer_of_array ctx (snd (Layout.role_cols ctx.layout p)))
+    | _ -> None)
+
+(* Reducer-vs-stored-column emptiness, memoised per (reducer, stored
+   column) so that the same reducer probing the same role across many
+   union arms walks it once. The intersection test runs outside the
+   lock ([Sip.intersects] is pure; a racing duplicate is idempotent). *)
+let memo_intersects ctx r key col_thunk =
+  let k = string_of_int (Sip.id r) ^ key in
+  Mutex.lock ctx.sip_lock;
+  let cached = Hashtbl.find_opt ctx.sip_memo k in
+  Mutex.unlock ctx.sip_lock;
+  match cached with
+  | Some b -> b
+  | None ->
+    let b = Sip.intersects r (col_thunk ()) in
+    Mutex.lock ctx.sip_lock;
+    Hashtbl.replace ctx.sip_memo k b;
+    Mutex.unlock ctx.sip_lock;
+    b
+
+(* Conservative static emptiness: [true] only when some reducer
+   binding provably annihilates a base access of the (sub)plan.
+   Simple layout only, where the stored column arrays are aliased
+   (walking them costs no extraction and [Sip.intersects] early-exits
+   on the first survivor). Everything unprovable answers [false]. *)
+let scan_provably_empty ctx (env : senv) atom =
+  match ctx.layout with
+  | Layout.Rdf _ -> false
+  | Layout.Simple _ -> (
+    match atom with
+    | Atom.Ca (p, Term.Var v) -> (
+      match List.assoc_opt v env with
+      | Some r ->
+        not
+          (memo_intersects ctx r (":c:" ^ p) (fun () ->
+               Layout.concept_rows ctx.layout p))
+      | None -> false)
+    | Atom.Ra (p, Term.Var v1, Term.Var v2) when v1 <> v2 ->
+      let side v key pick =
+        match List.assoc_opt v env with
+        | Some r ->
+          not
+            (memo_intersects ctx r (key ^ p) (fun () ->
+                 pick (Layout.role_cols ctx.layout p)))
+        | None -> false
+      in
+      side v1 ":rs:" fst || side v2 ":ro:" snd
+    | _ -> false)
+
+let rec provably_empty ctx (env : senv) plan =
+  env <> []
+  &&
+  match plan with
+  | Plan.Scan atom -> scan_provably_empty ctx env atom
+  | Plan.Hash_join { left; right; _ } | Plan.Merge_join { left; right; _ } ->
+    provably_empty ctx (restrict env (Plan.out_cols left)) left
+    || provably_empty ctx (restrict env (Plan.out_cols right)) right
+  | Plan.Index_join { left; _ } ->
+    provably_empty ctx (restrict env (Plan.out_cols left)) left
+  | Plan.Project { input; _ } ->
+    provably_empty ctx (restrict env (Plan.out_cols input)) input
+  | Plan.Distinct p | Plan.Materialize p -> provably_empty ctx env p
+  | Plan.Union { cols; inputs } ->
+    inputs <> []
+    && List.for_all
+         (fun p -> provably_empty ctx (remap_env env cols (Plan.out_cols p)) p)
+         inputs
+  | Plan.Sip { join; _ } -> provably_empty ctx env join
+
+(* The single-column join key a [Sip] annotation can act on. *)
+let sip_col on dir =
+  match on with
+  | [ c ] -> Some (c, dir)
+  | _ -> None
+
 (* {2 Plan compilation}
 
    [compile] turns a logical plan into an opened physical operator
@@ -272,58 +466,175 @@ let encode_out ctx out =
       | `Const k -> `Const (Dllite.Dict.encode dict k))
     out
 
-let rec compile ctx plan =
+let rec compile ctx env plan =
   match plan with
-  | Plan.Scan atom -> Physical.of_relation (fst (scan ctx atom))
-  | Plan.Hash_join { left; right; on } -> (
-    let l = compile ctx left in
-    match right with
-    | Plan.Scan atom when ctx.config.build_cache -> fst (probe_cached ctx l atom on)
-    | _ ->
-      Atomic.incr ctx.counters.builds;
-      let r = Physical.to_relation (compile ctx right) in
-      Physical.hash_join l r ~on)
-  | Plan.Merge_join { left; right; on } ->
-    let l = Physical.to_relation (compile ctx left) in
-    let r = Physical.to_relation (compile ctx right) in
-    Physical.of_relation (Relation.merge_join l r ~on)
+  | Plan.Scan atom -> apply_sip env (Physical.of_relation (fst (scan ctx atom)))
+  | Plan.Hash_join { left; right; on } -> compile_hash ctx env None left right on
+  | Plan.Merge_join { left; right; on } -> compile_merge ctx env None left right on
   | Plan.Index_join { left; atom; probe_col } ->
-    index_join_op ctx (compile ctx left) atom probe_col
-  | Plan.Project { input; out } -> Physical.project (compile ctx input) (encode_out ctx out)
-  | Plan.Distinct p -> Physical.distinct (compile ctx p)
+    compile_index ctx env ~sip:false left atom probe_col
+  | Plan.Project { input; out } ->
+    Physical.project
+      (compile ctx (restrict env (Plan.out_cols input)) input)
+      (encode_out ctx out)
+  | Plan.Distinct p -> Physical.distinct (compile ctx env p)
   | Plan.Union { cols; inputs } ->
     (* The embarrassingly parallel hot path: a reformulated UCQ is one
        [Union] whose arms are independent. At jobs > 1 the arms
        materialise on the domain pool and merge positionally in input
        order; sequentially they stream one after the other. Either way
        the result is identical to the sequential fold at any job
-       count. *)
-    Obs.Metrics.add m_union_arms (List.length inputs);
-    if ctx.jobs > 1 && List.length inputs > 1 then
+       count — arm elision is a pure function of plan + data, so it
+       too is deterministic. *)
+    let arms =
+      List.filter_map
+        (fun p ->
+          let aenv = remap_env env cols (Plan.out_cols p) in
+          if provably_empty ctx aenv p then begin
+            Obs.Metrics.incr m_sip_elided;
+            None
+          end
+          else Some (aenv, p))
+        inputs
+    in
+    Obs.Metrics.add m_union_arms (List.length arms);
+    if ctx.jobs > 1 && List.length arms > 1 then
       let rels =
         Parallel.map ~jobs:ctx.jobs
-          (fun p -> Physical.to_relation (compile ctx p))
-          inputs
+          (fun (aenv, p) -> Physical.to_relation (compile ctx aenv p))
+          arms
       in
       Physical.union ~cols (List.map Physical.of_relation rels)
     else
       (* arms open lazily: arm i's build tables and scan extractions
          are garbage before arm i+1's exist *)
       Physical.union_delayed ~cols
-        (List.map (fun p () -> compile ctx p) inputs)
+        (List.map (fun (aenv, p) () -> compile ctx aenv p) arms)
   | Plan.Materialize p -> (
     match ctx.views with
-    | None -> compile ctx p
+    | None -> compile ctx env p
     | Some store -> (
       let key = Plan.structural_key p in
       match Cache.Lru.find store key with
-      | Some rel -> Physical.of_relation rel
+      | Some rel -> apply_sip env (Physical.of_relation rel)
       | None ->
-        let rel = Physical.to_relation (compile ctx p) in
+        (* the stored fragment is compiled {e without} the reducer
+           environment — the view store is keyed on the fragment alone
+           and outlives this query; filters go on top of the copy *)
+        let rel = Physical.to_relation (compile ctx [] p) in
         (* keep the first stored copy if a sibling arm won the race *)
-        Physical.of_relation (Cache.Lru.add_if_absent store key rel)))
+        apply_sip env (Physical.of_relation (Cache.Lru.add_if_absent store key rel))))
+  | Plan.Sip { join; dir } -> (
+    match join with
+    | Plan.Hash_join { left; right; on } ->
+      compile_hash ctx env (sip_col on dir) left right on
+    | Plan.Merge_join { left; right; on } ->
+      compile_merge ctx env (sip_col on dir) left right on
+    | Plan.Index_join { left; atom; probe_col } ->
+      compile_index ctx env ~sip:(dir = Plan.Build_to_probe) left atom probe_col
+    | other ->
+      (* a stray annotation on a non-join is inert *)
+      compile ctx env other)
 
-let eval ctx plan = Physical.to_relation (compile ctx plan)
+and compile_hash ctx env sip left right on =
+  let out = Plan.out_cols (Plan.Hash_join { left; right; on }) in
+  let lenv = restrict env (Plan.out_cols left) in
+  let renv = restrict env (Plan.out_cols right) in
+  (* join-column bindings reach the output through the left side *)
+  let renv_only = List.filter (fun (c, _) -> not (List.mem c on)) renv in
+  match sip with
+  | Some (c, Plan.Probe_to_build) ->
+    (* materialise the probe side first; its key set prunes the build
+       subtree — the direction that reaches into a reformulated
+       union's arms before any of their rows exist *)
+    let l_rel = Physical.to_relation (compile ctx lenv left) in
+    if Relation.cardinality l_rel = 0 then empty_op out
+    else begin
+      let reducer = reducer_of_relation ctx l_rel c in
+      Atomic.incr ctx.counters.builds;
+      let r = Physical.to_relation (compile ctx ((c, reducer) :: renv) right) in
+      Physical.hash_join (Physical.of_relation l_rel) r ~on
+    end
+  | Some (c, Plan.Build_to_probe) -> (
+    match right with
+    | Plan.Scan atom when ctx.config.build_cache -> (
+      let build, _outcome, rename = build_cached ctx atom on in
+      if build_key_count build = 0 then empty_op out
+      else
+        match reducer_of_build ctx build with
+        | Some reducer ->
+          let l = compile ctx ((c, reducer) :: lenv) left in
+          apply_sip renv_only (Physical.probe ~rename l ~build ~on)
+        | None ->
+          let l = compile ctx lenv left in
+          apply_sip renv_only (Physical.probe ~rename l ~build ~on))
+    | _ ->
+      Atomic.incr ctx.counters.builds;
+      let r_rel = Physical.to_relation (compile ctx renv right) in
+      if Relation.cardinality r_rel = 0 then empty_op out
+      else begin
+        let reducer = reducer_of_relation ctx r_rel c in
+        let l = compile ctx ((c, reducer) :: lenv) left in
+        Physical.hash_join l r_rel ~on
+      end)
+  | None -> (
+    match right with
+    | Plan.Scan atom when ctx.config.build_cache ->
+      let build, _outcome, rename = build_cached ctx atom on in
+      (* an empty build table yields nothing: the probe subtree is
+         never even compiled *)
+      if build_key_count build = 0 then empty_op out
+      else
+        let l = compile ctx lenv left in
+        apply_sip renv_only (Physical.probe ~rename l ~build ~on)
+    | _ ->
+      (* build side first for the same early exit *)
+      Atomic.incr ctx.counters.builds;
+      let r_rel = Physical.to_relation (compile ctx renv right) in
+      if Relation.cardinality r_rel = 0 then empty_op out
+      else Physical.hash_join (compile ctx lenv left) r_rel ~on)
+
+and compile_merge ctx env sip left right on =
+  let out = Plan.out_cols (Plan.Merge_join { left; right; on }) in
+  let lenv = restrict env (Plan.out_cols left) in
+  let renv = restrict env (Plan.out_cols right) in
+  match sip with
+  | Some (c, Plan.Probe_to_build) ->
+    let l = Physical.to_relation (compile ctx lenv left) in
+    if Relation.cardinality l = 0 then empty_op out
+    else begin
+      let reducer = reducer_of_relation ctx l c in
+      let r = Physical.to_relation (compile ctx ((c, reducer) :: renv) right) in
+      Physical.of_relation (Relation.merge_join l r ~on)
+    end
+  | Some (c, Plan.Build_to_probe) ->
+    let r = Physical.to_relation (compile ctx renv right) in
+    if Relation.cardinality r = 0 then empty_op out
+    else begin
+      let reducer = reducer_of_relation ctx r c in
+      let l = Physical.to_relation (compile ctx ((c, reducer) :: lenv) left) in
+      Physical.of_relation (Relation.merge_join l r ~on)
+    end
+  | None ->
+    let l = Physical.to_relation (compile ctx lenv left) in
+    let r = Physical.to_relation (compile ctx renv right) in
+    Physical.of_relation (Relation.merge_join l r ~on)
+
+and compile_index ctx env ~sip left atom probe_col =
+  let lcols = Plan.out_cols left in
+  let lenv = restrict env lcols in
+  let lenv =
+    if sip then
+      match index_reducer ctx atom probe_col with
+      | Some r -> (probe_col, r) :: lenv
+      | None -> lenv
+    else lenv
+  in
+  let op = index_join_op ctx (compile ctx lenv left) atom probe_col in
+  (* outer bindings on the fresh column the index join introduces *)
+  apply_sip (List.filter (fun (c, _) -> not (List.mem c lcols)) env) op
+
+let eval ctx plan = Physical.to_relation (compile ctx [] plan)
 
 (* {2 Instrumented (EXPLAIN ANALYZE) evaluation}
 
@@ -343,6 +654,9 @@ type node_stats = {
   actual_rows : int;
   elapsed_ns : int64;
   cache : cache_outcome;
+  sip_pruned : int;  (* rows dropped by reducer filters at this node *)
+  sip_elided : int;  (* union arms this node never opened *)
+  sip_reducer : string option;  (* reducer kind built at this join *)
   children : node_stats list;
 }
 
@@ -351,6 +665,11 @@ type acc = {
   mutable a_rows : int;
   mutable a_ns : int64;
   a_cache : cache_outcome;
+  a_pruned : int ref;
+      (* a ref, not a mutable field: the tally closure is created
+         before the accumulator exists *)
+  a_elided : int;
+  a_reducer : string option;
   a_children : acc list;
 }
 
@@ -360,6 +679,9 @@ let rec stats_of acc =
     actual_rows = acc.a_rows;
     elapsed_ns = acc.a_ns;
     cache = acc.a_cache;
+    sip_pruned = !(acc.a_pruned);
+    sip_elided = acc.a_elided;
+    sip_reducer = acc.a_reducer;
     children = List.map stats_of acc.a_children;
   }
 
@@ -375,84 +697,260 @@ let instrument acc (op : Physical.op) =
   in
   { op with Physical.next }
 
-let rec compile_analyzed ctx plan =
+let rec compile_analyzed ctx env plan =
   let t0 = Obs.Mclock.now_ns () in
-  let finish ?(cache = Uncached) op children =
+  let finish ?(cache = Uncached) ?(pruned = ref 0) ?(elided = 0) ?reducer op children
+      =
     let acc =
-      { a_plan = plan; a_rows = 0; a_ns = 0L; a_cache = cache; a_children = children }
+      {
+        a_plan = plan;
+        a_rows = 0;
+        a_ns = 0L;
+        a_cache = cache;
+        a_pruned = pruned;
+        a_elided = elided;
+        a_reducer = reducer;
+        a_children = children;
+      }
     in
     acc.a_ns <- Obs.Mclock.elapsed_ns ~since:t0;
     instrument acc op, acc
   in
+  (* the three join compilers are shared between the bare node and its
+     [Sip]-annotated form: [finish] closes over the matched [plan], so
+     the accumulator carries the annotation when there is one *)
+  let hash_analyzed sip left right on =
+    let out = Plan.out_cols (Plan.Hash_join { left; right; on }) in
+    let lenv = restrict env (Plan.out_cols left) in
+    let renv = restrict env (Plan.out_cols right) in
+    let renv_only = List.filter (fun (c, _) -> not (List.mem c on)) renv in
+    match sip with
+    | Some (c, Plan.Probe_to_build) ->
+      let lop, ls = compile_analyzed ctx lenv left in
+      let l_rel = Physical.to_relation lop in
+      if Relation.cardinality l_rel = 0 then finish (empty_op out) [ ls ]
+      else begin
+        let reducer = reducer_of_relation ctx l_rel c in
+        Atomic.incr ctx.counters.builds;
+        let rop, rs = compile_analyzed ctx ((c, reducer) :: renv) right in
+        finish ~reducer:(Sip.kind_name reducer)
+          (Physical.hash_join (Physical.of_relation l_rel)
+             (Physical.to_relation rop) ~on)
+          [ ls; rs ]
+      end
+    | Some (c, Plan.Build_to_probe) -> (
+      match right with
+      | Plan.Scan atom when ctx.config.build_cache ->
+        (* the build side folds into this node: its scan/build outcome
+           is the node's cache outcome, and it has no separate child *)
+        let build, outcome, rename = build_cached ctx atom on in
+        if build_key_count build = 0 then finish ~cache:outcome (empty_op out) []
+        else begin
+          let r = reducer_of_build ctx build in
+          let lenv' =
+            match r with
+            | Some reducer -> (c, reducer) :: lenv
+            | None -> lenv
+          in
+          let l, ls = compile_analyzed ctx lenv' left in
+          let pruned = ref 0 in
+          let op =
+            apply_sip
+              ~on_pruned:(fun n -> pruned := !pruned + n)
+              renv_only
+              (Physical.probe ~rename l ~build ~on)
+          in
+          finish ~cache:outcome ~pruned ?reducer:(Option.map Sip.kind_name r) op
+            [ ls ]
+        end
+      | _ ->
+        Atomic.incr ctx.counters.builds;
+        let rop, rs = compile_analyzed ctx renv right in
+        let r_rel = Physical.to_relation rop in
+        if Relation.cardinality r_rel = 0 then finish (empty_op out) [ rs ]
+        else begin
+          let reducer = reducer_of_relation ctx r_rel c in
+          let l, ls = compile_analyzed ctx ((c, reducer) :: lenv) left in
+          finish ~reducer:(Sip.kind_name reducer)
+            (Physical.hash_join l r_rel ~on)
+            [ ls; rs ]
+        end)
+    | None -> (
+      match right with
+      | Plan.Scan atom when ctx.config.build_cache ->
+        let build, outcome, rename = build_cached ctx atom on in
+        if build_key_count build = 0 then finish ~cache:outcome (empty_op out) []
+        else begin
+          let l, ls = compile_analyzed ctx lenv left in
+          let pruned = ref 0 in
+          let op =
+            apply_sip
+              ~on_pruned:(fun n -> pruned := !pruned + n)
+              renv_only
+              (Physical.probe ~rename l ~build ~on)
+          in
+          finish ~cache:outcome ~pruned op [ ls ]
+        end
+      | _ ->
+        Atomic.incr ctx.counters.builds;
+        let rop, rs = compile_analyzed ctx renv right in
+        let r_rel = Physical.to_relation rop in
+        if Relation.cardinality r_rel = 0 then finish (empty_op out) [ rs ]
+        else begin
+          let l, ls = compile_analyzed ctx lenv left in
+          finish (Physical.hash_join l r_rel ~on) [ ls; rs ]
+        end)
+  in
+  let merge_analyzed sip left right on =
+    let out = Plan.out_cols (Plan.Merge_join { left; right; on }) in
+    let lenv = restrict env (Plan.out_cols left) in
+    let renv = restrict env (Plan.out_cols right) in
+    match sip with
+    | Some (c, Plan.Probe_to_build) ->
+      let lop, ls = compile_analyzed ctx lenv left in
+      let l = Physical.to_relation lop in
+      if Relation.cardinality l = 0 then finish (empty_op out) [ ls ]
+      else begin
+        let reducer = reducer_of_relation ctx l c in
+        let rop, rs = compile_analyzed ctx ((c, reducer) :: renv) right in
+        finish ~reducer:(Sip.kind_name reducer)
+          (Physical.of_relation
+             (Relation.merge_join l (Physical.to_relation rop) ~on))
+          [ ls; rs ]
+      end
+    | Some (c, Plan.Build_to_probe) ->
+      let rop, rs = compile_analyzed ctx renv right in
+      let r = Physical.to_relation rop in
+      if Relation.cardinality r = 0 then finish (empty_op out) [ rs ]
+      else begin
+        let reducer = reducer_of_relation ctx r c in
+        let lop, ls = compile_analyzed ctx ((c, reducer) :: lenv) left in
+        finish ~reducer:(Sip.kind_name reducer)
+          (Physical.of_relation
+             (Relation.merge_join (Physical.to_relation lop) r ~on))
+          [ ls; rs ]
+      end
+    | None ->
+      let lop, ls = compile_analyzed ctx lenv left in
+      let rop, rs = compile_analyzed ctx renv right in
+      let rel =
+        Relation.merge_join (Physical.to_relation lop) (Physical.to_relation rop)
+          ~on
+      in
+      finish (Physical.of_relation rel) [ ls; rs ]
+  in
+  let index_analyzed ~sip left atom probe_col =
+    let lcols = Plan.out_cols left in
+    let lenv = restrict env lcols in
+    let r = if sip then index_reducer ctx atom probe_col else None in
+    let lenv' =
+      match r with
+      | Some reducer -> (probe_col, reducer) :: lenv
+      | None -> lenv
+    in
+    let l, ls = compile_analyzed ctx lenv' left in
+    let pruned = ref 0 in
+    let op =
+      apply_sip
+        ~on_pruned:(fun n -> pruned := !pruned + n)
+        (List.filter (fun (c, _) -> not (List.mem c lcols)) env)
+        (index_join_op ctx l atom probe_col)
+    in
+    finish ~pruned ?reducer:(Option.map Sip.kind_name r) op [ ls ]
+  in
   match plan with
   | Plan.Scan atom ->
     let rel, outcome = scan ctx atom in
-    finish ~cache:outcome (Physical.of_relation rel) []
-  | Plan.Hash_join { left; right; on } -> (
-    let l, ls = compile_analyzed ctx left in
-    match right with
-    | Plan.Scan atom when ctx.config.build_cache ->
-      (* the build side folds into this node: its scan/build outcome is
-         the node's cache outcome, and it has no separate child *)
-      let op, outcome = probe_cached ctx l atom on in
-      finish ~cache:outcome op [ ls ]
-    | _ ->
-      Atomic.incr ctx.counters.builds;
-      let r, rs = compile_analyzed ctx right in
-      finish (Physical.hash_join l (Physical.to_relation r) ~on) [ ls; rs ])
-  | Plan.Merge_join { left; right; on } ->
-    let l, ls = compile_analyzed ctx left in
-    let r, rs = compile_analyzed ctx right in
-    let rel =
-      Relation.merge_join (Physical.to_relation l) (Physical.to_relation r) ~on
+    let pruned = ref 0 in
+    let op =
+      apply_sip
+        ~on_pruned:(fun n -> pruned := !pruned + n)
+        env
+        (Physical.of_relation rel)
     in
-    finish (Physical.of_relation rel) [ ls; rs ]
+    finish ~cache:outcome ~pruned op []
+  | Plan.Hash_join { left; right; on } -> hash_analyzed None left right on
+  | Plan.Merge_join { left; right; on } -> merge_analyzed None left right on
   | Plan.Index_join { left; atom; probe_col } ->
-    let l, ls = compile_analyzed ctx left in
-    finish (index_join_op ctx l atom probe_col) [ ls ]
+    index_analyzed ~sip:false left atom probe_col
   | Plan.Project { input; out } ->
-    let i, is_ = compile_analyzed ctx input in
+    let i, is_ = compile_analyzed ctx (restrict env (Plan.out_cols input)) input in
     finish (Physical.project i (encode_out ctx out)) [ is_ ]
   | Plan.Distinct p ->
-    let i, is_ = compile_analyzed ctx p in
+    let i, is_ = compile_analyzed ctx env p in
     finish (Physical.distinct i) [ is_ ]
   | Plan.Union { cols; inputs } ->
-    Obs.Metrics.add m_union_arms (List.length inputs);
-    if ctx.jobs > 1 && List.length inputs > 1 then begin
+    let arms =
+      List.filter_map
+        (fun p ->
+          let aenv = remap_env env cols (Plan.out_cols p) in
+          if provably_empty ctx aenv p then begin
+            Obs.Metrics.incr m_sip_elided;
+            None
+          end
+          else Some (aenv, p))
+        inputs
+    in
+    let elided = List.length inputs - List.length arms in
+    Obs.Metrics.add m_union_arms (List.length arms);
+    if ctx.jobs > 1 && List.length arms > 1 then begin
       (* arms compile, drain and account on the pool; the domain join
          gives the happens-before that makes their accumulators safe
          to read here *)
-      let arms =
+      let done_arms =
         Parallel.map ~jobs:ctx.jobs
-          (fun p ->
-            let op, acc = compile_analyzed ctx p in
+          (fun (aenv, p) ->
+            let op, acc = compile_analyzed ctx aenv p in
             Physical.to_relation op, acc)
-          inputs
+          arms
       in
-      finish
-        (Physical.union ~cols (List.map (fun (rel, _) -> Physical.of_relation rel) arms))
-        (List.map snd arms)
+      finish ~elided
+        (Physical.union ~cols
+           (List.map (fun (rel, _) -> Physical.of_relation rel) done_arms))
+        (List.map snd done_arms)
     end
     else begin
-      let arms = List.map (compile_analyzed ctx) inputs in
-      finish (Physical.union ~cols (List.map fst arms)) (List.map snd arms)
+      let done_arms = List.map (fun (aenv, p) -> compile_analyzed ctx aenv p) arms in
+      finish ~elided
+        (Physical.union ~cols (List.map fst done_arms))
+        (List.map snd done_arms)
     end
   | Plan.Materialize p -> (
     match ctx.views with
     | None ->
-      let i, is_ = compile_analyzed ctx p in
+      let i, is_ = compile_analyzed ctx env p in
       finish i [ is_ ]
     | Some store -> (
       let key = Plan.structural_key p in
+      let filtered ~cache rel children =
+        let pruned = ref 0 in
+        let op =
+          apply_sip
+            ~on_pruned:(fun n -> pruned := !pruned + n)
+            env
+            (Physical.of_relation rel)
+        in
+        finish ~cache ~pruned op children
+      in
       match Cache.Lru.find store key with
-      | Some rel -> finish ~cache:Hit (Physical.of_relation rel) []
+      | Some rel -> filtered ~cache:Hit rel []
       | None ->
-        let op, is_ = compile_analyzed ctx p in
+        (* stored unfiltered (see [compile]); reducers on top *)
+        let op, is_ = compile_analyzed ctx [] p in
         let rel = Cache.Lru.add_if_absent store key (Physical.to_relation op) in
-        finish ~cache:Miss (Physical.of_relation rel) [ is_ ]))
+        filtered ~cache:Miss rel [ is_ ]))
+  | Plan.Sip { join; dir } -> (
+    match join with
+    | Plan.Hash_join { left; right; on } ->
+      hash_analyzed (sip_col on dir) left right on
+    | Plan.Merge_join { left; right; on } ->
+      merge_analyzed (sip_col on dir) left right on
+    | Plan.Index_join { left; atom; probe_col } ->
+      index_analyzed ~sip:(dir = Plan.Build_to_probe) left atom probe_col
+    | other -> compile_analyzed ctx env other)
 
 let eval_analyzed ctx plan =
-  let op, acc = compile_analyzed ctx plan in
+  let op, acc = compile_analyzed ctx [] plan in
   let rel = Physical.to_relation op in
   rel, stats_of acc
 
@@ -472,7 +970,17 @@ let make_ctx config counters views jobs layout =
     if config.scan_cache || config.build_cache then fresh_run_caches ()
     else disabled_run_caches
   in
-  { layout; config; counters; scans; builds; views; jobs }
+  {
+    layout;
+    config;
+    counters;
+    scans;
+    builds;
+    views;
+    jobs;
+    sip_memo = Hashtbl.create 16;
+    sip_lock = Mutex.create ();
+  }
 
 let run ?(config = postgres_like) ?counters ?views ?jobs layout plan =
   eval (make_ctx config counters views jobs layout) plan

@@ -99,10 +99,20 @@ type node_stats = {
   actual_rows : int;  (** output cardinality actually produced *)
   elapsed_ns : int64;  (** monotonic wall-clock, inclusive of children *)
   cache : cache_outcome;
+  sip_pruned : int;
+      (** rows dropped at this node by sideways reducer filters
+          ({!Plan.Sip}); 0 when no reducer touched it *)
+  sip_elided : int;
+      (** union arms this node proved empty under a reducer and never
+          opened *)
+  sip_reducer : string option;
+      (** the kind of reducer an annotated join built ([bitset] or
+          [bloom]); [None] on unannotated nodes *)
   children : node_stats list;
       (** in plan order. A hash join whose build side is a cached base
           scan folds the build into the join node: it has one child
-          (the probe side) and carries the build's cache outcome. *)
+          (the probe side) and carries the build's cache outcome. An
+          empty build side elides the probe child entirely. *)
 }
 (** Per-operator runtime statistics, mirroring the plan tree. Produced
     by {!run_analyzed}, rendered against the cost-model estimates by

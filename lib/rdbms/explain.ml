@@ -175,6 +175,12 @@ and cost_plan_raw profile state layout plan =
           (0., 0.) inputs
       in
       { Estimate.rows; ndv = [] }, cost)
+  | Plan.Sip { join; _ } ->
+    (* the annotation is costed transparently: the reducer's benefit is
+       the optimizer pass's ({!Cost.Sip_pass}) concern, not the base
+       model's, and keeping cost parity with the bare join means
+       annotating never reorders plan choices *)
+    cost_plan_raw profile state layout join
 
 let cost profile layout plan =
   let state = { seen_scans = Hashtbl.create 64; seen_builds = Hashtbl.create 64 } in
@@ -203,7 +209,7 @@ let q_error ~est ~actual =
    per-operator estimates. Large unions are elided after a few arms in
    the text renderings (never in JSON). *)
 
-let node_label p =
+let rec node_label p =
   match p with
   | Plan.Scan atom -> Fmt.str "Scan %a" Query.Atom.pp atom
   | Plan.Hash_join { on; _ } ->
@@ -221,8 +227,13 @@ let node_label p =
   | Plan.Materialize _ -> "Materialize"
   | Plan.Union { inputs; _ } ->
     Printf.sprintf "Union of %d arms" (List.length inputs)
+  | Plan.Sip { join; dir } ->
+    node_label join
+    ^ (match dir with
+      | Plan.Build_to_probe -> " [sip: build->probe]"
+      | Plan.Probe_to_build -> " [sip: probe->build]")
 
-let node_op = function
+let rec node_op = function
   | Plan.Scan _ -> "scan"
   | Plan.Hash_join _ -> "hash_join"
   | Plan.Merge_join _ -> "merge_join"
@@ -231,6 +242,7 @@ let node_op = function
   | Plan.Distinct _ -> "distinct"
   | Plan.Union _ -> "union"
   | Plan.Materialize _ -> "materialize"
+  | Plan.Sip { join; _ } -> node_op join
 
 let shown_union_arms = 4
 
@@ -265,6 +277,15 @@ let render profile layout plan =
       if List.length inputs > shown_union_arms then
         line (depth + 1)
           (Printf.sprintf "... (%d more arms)" (List.length inputs - shown_union_arms))
+    | Plan.Sip { join; _ } ->
+      (* the annotated join already rendered (label + [sip] marker);
+         recurse into its operands only *)
+      (match join with
+      | Plan.Hash_join { left; right; _ } | Plan.Merge_join { left; right; _ } ->
+        go (depth + 1) left;
+        go (depth + 1) right
+      | Plan.Index_join { left; _ } -> go (depth + 1) left
+      | other -> go (depth + 1) other)
   in
   go 0 plan;
   Buffer.contents buf
@@ -273,8 +294,7 @@ let json_escape = Printf.sprintf "%S"
 
 let rec render_json_node profile layout p =
   let e = node_estimate profile layout p in
-  let children =
-    match p with
+  let rec children_of = function
     | Plan.Scan _ -> []
     | Plan.Hash_join { left; right; _ } | Plan.Merge_join { left; right; _ } ->
       [ left; right ]
@@ -282,7 +302,9 @@ let rec render_json_node profile layout p =
     | Plan.Project { input; _ } -> [ input ]
     | Plan.Distinct inner | Plan.Materialize inner -> [ inner ]
     | Plan.Union { inputs; _ } -> inputs
+    | Plan.Sip { join; _ } -> children_of join
   in
+  let children = children_of p in
   Printf.sprintf
     "{\"op\":%s,\"label\":%s,\"est_cost\":%.1f,\"est_rows\":%.1f,\"children\":[%s]}"
     (json_escape (node_op p))
@@ -295,17 +317,38 @@ let render_json profile layout plan = render_json_node profile layout plan
 (* {2 EXPLAIN ANALYZE rendering: estimates vs actuals} *)
 
 let cache_note stats =
-  let subject =
-    match stats.Exec.plan with
+  let rec subject = function
     | Plan.Scan _ -> "scan"
     | Plan.Hash_join _ -> "build"
     | Plan.Materialize _ -> "view"
+    | Plan.Sip { join; _ } -> subject join
     | _ -> "cache"
   in
+  let subject = subject stats.Exec.plan in
   match stats.Exec.cache with
   | Exec.Uncached -> ""
   | Exec.Hit -> Printf.sprintf ", %s hit" subject
   | Exec.Miss -> Printf.sprintf ", %s miss" subject
+
+(* Sideways-passing actuals, shown only when the node did something —
+   plans without [Sip] annotations render byte-identically to before
+   the SIP layer existed. *)
+let sip_note (s : Exec.node_stats) =
+  let parts =
+    (match s.Exec.sip_reducer with
+    | Some k -> [ "reducer=" ^ k ]
+    | None -> [])
+    @ (if s.Exec.sip_pruned > 0 then
+         [ Printf.sprintf "pruned=%d" s.Exec.sip_pruned ]
+       else [])
+    @
+    if s.Exec.sip_elided > 0 then
+      [ Printf.sprintf "elided=%d" s.Exec.sip_elided ]
+    else []
+  in
+  match parts with
+  | [] -> ""
+  | _ -> ", sip: " ^ String.concat " " parts
 
 let cache_json stats =
   match stats.Exec.cache with
@@ -323,10 +366,10 @@ let render_analyze profile layout stats =
   let rec go depth (s : Exec.node_stats) =
     let e = node_estimate profile layout s.Exec.plan in
     line depth
-      (Printf.sprintf "%s  est(cost=%.0f rows=%.0f)  act(rows=%d time=%.3fms%s)  q-err=%.2f"
+      (Printf.sprintf "%s  est(cost=%.0f rows=%.0f)  act(rows=%d time=%.3fms%s%s)  q-err=%.2f"
          (node_label s.Exec.plan) e.total_cost e.est_rows s.Exec.actual_rows
          (Obs.Mclock.ns_to_ms s.Exec.elapsed_ns)
-         (cache_note s)
+         (cache_note s) (sip_note s)
          (q_error ~est:e.est_rows ~actual:s.Exec.actual_rows));
     match s.Exec.plan with
     | Plan.Union _ when List.length s.Exec.children > shown_union_arms ->
@@ -346,15 +389,27 @@ let render_analyze profile layout stats =
   go 0 stats;
   Buffer.contents buf
 
+let sip_json (s : Exec.node_stats) =
+  (match s.Exec.sip_reducer with
+  | Some k -> Printf.sprintf ",\"sip_reducer\":%s" (json_escape k)
+  | None -> "")
+  ^ (if s.Exec.sip_pruned > 0 then
+       Printf.sprintf ",\"sip_pruned\":%d" s.Exec.sip_pruned
+     else "")
+  ^
+  if s.Exec.sip_elided > 0 then
+    Printf.sprintf ",\"sip_elided\":%d" s.Exec.sip_elided
+  else ""
+
 let rec render_analyze_json profile layout (s : Exec.node_stats) =
   let e = node_estimate profile layout s.Exec.plan in
   Printf.sprintf
     "{\"op\":%s,\"label\":%s,\"est_cost\":%.1f,\"est_rows\":%.1f,\"actual_rows\":%d,\
-     \"time_ms\":%.6f,\"q_error\":%.3f,\"cache\":%s,\"children\":[%s]}"
+     \"time_ms\":%.6f,\"q_error\":%.3f,\"cache\":%s%s,\"children\":[%s]}"
     (json_escape (node_op s.Exec.plan))
     (json_escape (node_label s.Exec.plan))
     e.total_cost e.est_rows s.Exec.actual_rows
     (Obs.Mclock.ns_to_ms s.Exec.elapsed_ns)
     (q_error ~est:e.est_rows ~actual:s.Exec.actual_rows)
-    (cache_json s)
+    (cache_json s) (sip_json s)
     (String.concat "," (List.map (render_analyze_json profile layout) s.Exec.children))

@@ -21,16 +21,6 @@ let role_rows t n =
 let role_cols t n =
   match t with Simple s -> Storage.role_cols s n | Rdf r -> Rdf_layout.role_cols r n
 
-let role_lookup_subject t n v =
-  match t with
-  | Simple s -> Storage.role_lookup_subject s n v
-  | Rdf r -> Rdf_layout.role_lookup_subject r n v
-
-let role_lookup_object t n v =
-  match t with
-  | Simple s -> Storage.role_lookup_object s n v
-  | Rdf r -> Rdf_layout.role_lookup_object r n v
-
 let role_lookup_subject_arr t n v =
   match t with
   | Simple s -> Storage.role_lookup_subject_arr s n v

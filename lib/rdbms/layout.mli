@@ -33,16 +33,11 @@ val role_cols : t -> string -> int array * int array
     lazily-built shared projection (do not mutate); on the RDF layout
     each call re-pays the wide-table probe. *)
 
-val role_lookup_subject : t -> string -> int -> (int * int) list
-(** Index probe: the role rows whose subject equals the code. *)
-
-val role_lookup_object : t -> string -> int -> (int * int) list
-(** Index probe: the role rows whose object equals the code. *)
-
 val role_lookup_subject_arr : t -> string -> int -> (int * int) array
-(** Array variants of the index probes, used by the scan operators to
-    avoid the list-to-row-array churn. On the simple layout the
-    returned array aliases the index and must not be mutated. *)
+(** Index probe: the role rows whose subject equals the code, as an
+    array the scan operators consume directly (no list-to-row-array
+    churn). On the simple layout the returned array aliases the index
+    and must not be mutated. *)
 
 val role_lookup_object_arr : t -> string -> int -> (int * int) array
 (** Array variant of {!role_lookup_object}; same aliasing caveat as

@@ -199,6 +199,32 @@ let distinct op =
     { cols = op.cols; next; close = op.close }
   end
 
+(* Sideways-information-passing filter: drops the rows whose value in
+   [col] cannot be in the reducer. Selection-vector based (zero-copy,
+   same shape as the filters of {!index_join} and {!distinct});
+   [tally] observes the number of pruned rows per batch, feeding the
+   sip metrics and the per-node EXPLAIN ANALYZE counters. *)
+let sip_filter op ~col ~reducer ~tally =
+  let c_idx = col_index op.cols col in
+  let rec next () =
+    match op.next () with
+    | None -> None
+    | Some b ->
+      let n = Batch.length b in
+      let abs = idx_fun b in
+      let src = b.Batch.data.(c_idx) in
+      let keep = Ibuf.create ~capacity:(max 16 n) () in
+      for i = 0 to n - 1 do
+        if Sip.mem reducer src.(abs i) then Ibuf.push keep i
+      done;
+      let kept = Ibuf.length keep in
+      if kept < n then tally (n - kept);
+      if kept = 0 then next ()
+      else if kept = n then Some b
+      else Some (Batch.select b (Ibuf.to_array keep))
+  in
+  { cols = op.cols; next; close = op.close }
+
 (* Sequential concatenation whose arms open lazily: arm i+1's pipeline
    (and any compile-time materialisation inside it — build tables,
    merge sorts, scan extractions) is not constructed until arm i is
@@ -274,6 +300,28 @@ let probe ?(rename = fun c -> c) left ~build ~on =
   let nl = Array.length left.cols in
   let np = Array.length b.Relation.payload in
   let cols = Array.append left.cols (Array.map rename b.Relation.payload_cols) in
+  let build_empty =
+    match b.Relation.table with
+    | Relation.Single t -> Hashtbl.length t = 0
+    | Relation.Multi t -> Hashtbl.length t = 0
+  in
+  if build_empty then begin
+    (* an empty build side matches nothing: never drain the probe
+       subtree, close it on first pull *)
+    let closed = ref false in
+    let close () =
+      if not !closed then begin
+        closed := true;
+        left.close ()
+      end
+    in
+    let next () =
+      close ();
+      None
+    in
+    { cols; next; close }
+  end
+  else
   let scratch = Array.make nk 0 in
   (* the lookup closes over the batch's column arrays, rebound per
      batch; single-column keys skip the scratch tuple entirely *)

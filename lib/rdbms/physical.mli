@@ -53,6 +53,13 @@ val union_delayed : cols:string list -> (unit -> op) list -> op
     opening keeps them all live at once and promotes them wholesale to
     the major heap. *)
 
+val sip_filter : op -> col:string -> reducer:Sip.t -> tally:(int -> unit) -> op
+(** Sideways-information-passing filter: keeps only the rows whose
+    value in [col] may be in the reducer (selection-vector based,
+    zero-copy). [tally] is called with the number of rows pruned from
+    each batch — it feeds the [sip.rows_pruned] metric and the
+    per-node EXPLAIN ANALYZE counter. *)
+
 val probe :
   ?rename:(string -> string) ->
   op ->
@@ -62,7 +69,9 @@ val probe :
 (** Batch-at-a-time hash probe against a prebuilt (possibly cached)
     build table. Output columns: the input's, then the build side's
     non-join columns mapped through [rename]. Each input batch yields
-    at most one exactly-sized output batch (empty ones are skipped). *)
+    at most one exactly-sized output batch (empty ones are skipped).
+    An {e empty} build table short-circuits: the probe subtree is
+    never drained, only closed on the first pull. *)
 
 val hash_join : op -> Relation.t -> on:string list -> op
 (** [probe] after building the right side. *)

@@ -11,6 +11,10 @@ let scan_cols atom =
   | Atom.Ra (_, Term.Var v, Term.Cst _) | Atom.Ra (_, Term.Cst _, Term.Var v) -> [ v ]
   | Atom.Ra (_, Term.Cst _, Term.Cst _) -> []
 
+type sip_dir =
+  | Build_to_probe
+  | Probe_to_build
+
 type t =
   | Scan of Query.Atom.t
   | Hash_join of {
@@ -38,6 +42,10 @@ type t =
       inputs : t list;
     }
   | Materialize of t
+  | Sip of {
+      join : t;
+      dir : sip_dir;
+    }
 
 let rec out_cols = function
   | Scan atom -> scan_cols atom
@@ -59,6 +67,7 @@ let rec out_cols = function
             (0, []) out))
   | Distinct p | Materialize p -> out_cols p
   | Union { cols; _ } -> cols
+  | Sip { join; _ } -> out_cols join
 
 let rec scan_count = function
   | Scan _ -> 1
@@ -68,6 +77,7 @@ let rec scan_count = function
   | Project { input; _ } -> scan_count input
   | Distinct p | Materialize p -> scan_count p
   | Union { inputs; _ } -> List.fold_left (fun n p -> n + scan_count p) 0 inputs
+  | Sip { join; _ } -> scan_count join
 
 let rec union_arms = function
   | Scan _ -> 1
@@ -78,6 +88,7 @@ let rec union_arms = function
   | Distinct p | Materialize p -> union_arms p
   | Union { inputs; _ } ->
     List.fold_left (fun n p -> max n (union_arms p)) (List.length inputs) inputs
+  | Sip { join; _ } -> union_arms join
 
 (* An injective serialisation of a plan. [pp] is for humans and
    conflates a variable with an equally-named constant (both print as
@@ -161,6 +172,10 @@ let structural_key plan =
     | Materialize p ->
       Buffer.add_char buf 'W';
       go p
+    | Sip { join; dir } ->
+      Buffer.add_char buf 'Z';
+      Buffer.add_char buf (match dir with Build_to_probe -> 'b' | Probe_to_build -> 'p');
+      go join
   in
   go plan;
   Buffer.contents buf
@@ -188,3 +203,9 @@ let rec pp ppf = function
     Fmt.pf ppf "@[<v2>Union(%d)@,%a@]" (List.length inputs)
       (Fmt.list ~sep:Fmt.cut pp) inputs
   | Materialize p -> Fmt.pf ppf "@[<v2>Materialize@,%a@]" pp p
+  | Sip { join; dir } ->
+    Fmt.pf ppf "@[<v2>Sip[%s]@,%a@]"
+      (match dir with
+      | Build_to_probe -> "build->probe"
+      | Probe_to_build -> "probe->build")
+      pp join

@@ -5,6 +5,16 @@ type out_col =
   [ `Col of string  (** forward a column *)
   | `Const of string  (** emit a constant (head constants of CQs) *) ]
 
+(** Which side of an annotated join seeds the semijoin reducer
+    ({!Sip}). [Build_to_probe]: the reducer summarises the build
+    side's join keys and prunes the probe subtree. [Probe_to_build]:
+    the probe side is materialised first and its keys prune the build
+    subtree — the direction that reaches into a reformulated union's
+    arms before their rows are built. *)
+type sip_dir =
+  | Build_to_probe
+  | Probe_to_build
+
 type t =
   | Scan of Query.Atom.t
       (** one atom access: full scan, index lookup when a term is a
@@ -24,6 +34,13 @@ type t =
       (** positional union; [cols] names the output *)
   | Materialize of t
       (** fragment boundary: the WITH subqueries of the paper's SQL *)
+  | Sip of { join : t; dir : sip_dir }
+      (** sideways-information-passing annotation on a join ([join]
+          must be a [Hash_join], [Merge_join] or [Index_join]): the
+          executor builds a {!Sip.t} reducer from the [dir] source
+          side and pushes it into the other side's subtree. Purely
+          advisory — evaluation without the annotation (or on
+          {!Rowexec}, which ignores it) returns the same answers. *)
 
 val scan_cols : Query.Atom.t -> string list
 (** Output column names of an atom scan: the distinct variables of the

@@ -49,18 +49,12 @@ val role_cols : t -> string -> int array * int array
     the columnar executor. Fresh arrays per call — the wide-table
     probing cost is paid on every scan by design. *)
 
-val role_lookup_subject : t -> string -> int -> (int * int) list
-(** Primary-key access: only the DPH rows of the subject are probed. *)
-
-val role_lookup_object : t -> string -> int -> (int * int) list
-(** Primary-key access on the RPH table. *)
-
 val role_lookup_subject_arr : t -> string -> int -> (int * int) array
-(** Array variants of the index probes (fresh arrays; callers may keep
-    them). *)
+(** Primary-key access: only the DPH rows of the subject are probed.
+    Fresh arrays; callers may keep them. *)
 
 val role_lookup_object_arr : t -> string -> int -> (int * int) array
-(** Array variant of {!role_lookup_object}. *)
+(** Primary-key access on the RPH table. *)
 
 val concept_names : t -> string list
 (** Concepts with at least one type triple. *)

@@ -218,6 +218,10 @@ let rec eval layout plan =
       rows = List.concat_map (fun r -> r.rows) arms;
     }
   | Plan.Materialize p -> eval layout p
+  (* sideways-passing annotations are advisory; the row engine ignores
+     them, which is exactly what makes it the differential oracle for
+     the batch engine's reducer paths *)
+  | Plan.Sip { join; _ } -> eval layout join
 
 let run layout plan = to_relation (eval layout plan)
 

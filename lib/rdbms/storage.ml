@@ -158,11 +158,6 @@ let role_cols t name =
     force_index rt.columns (fun () ->
         (Array.map fst rt.pairs, Array.map snd rt.pairs))
 
-let role_lookup_subject t name subj =
-  Array.to_list (role_lookup_subject_arr t name subj)
-
-let role_lookup_object t name obj = Array.to_list (role_lookup_object_arr t name obj)
-
 let concept_mem t name ind =
   match Hashtbl.find_opt t.concepts name with
   | None -> false

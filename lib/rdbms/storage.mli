@@ -40,20 +40,15 @@ val concept_stats : t -> string -> table_stats
 val role_stats : t -> string -> table_stats
 (** Cardinality and per-attribute distinct counts of a role table. *)
 
-val role_lookup_subject : t -> string -> int -> (int * int) list
-(** Index access: pairs of the role with the given subject. The index
-    is built lazily on first use (safe to race from parallel plan
-    arms). *)
-
-val role_lookup_object : t -> string -> int -> (int * int) list
-(** Index access: pairs of the role with the given object. *)
-
 val role_lookup_subject_arr : t -> string -> int -> (int * int) array
-(** Like {!role_lookup_subject} but returns the index's own array —
-    no per-lookup list allocation. Callers must not mutate it. *)
+(** Index access: pairs of the role with the given subject, as the
+    index's own array — no per-lookup allocation; callers must not
+    mutate it. The index is built lazily on first use (safe to race
+    from parallel plan arms). *)
 
 val role_lookup_object_arr : t -> string -> int -> (int * int) array
-(** Array variant of {!role_lookup_object}; same aliasing caveat. *)
+(** Index access: pairs of the role with the given object; same
+    aliasing caveat as {!role_lookup_subject_arr}. *)
 
 val concept_mem : t -> string -> int -> bool
 (** Index access: membership of an individual in a concept. *)

@@ -217,6 +217,15 @@ let random_atom st =
 
 let common l1 l2 = List.filter (fun c -> List.mem c l2) l1
 
+(* Wrap a join in a random SIP annotation a third of the time: the
+   differential property then exercises reducer filters, arm elision
+   and both passing directions against the oblivious row engine. *)
+let maybe_sip st join =
+  match Random.State.int st 3 with
+  | 0 -> Plan.Sip { join; dir = Plan.Build_to_probe }
+  | 1 -> Plan.Sip { join; dir = Plan.Probe_to_build }
+  | _ -> join
+
 let rec random_plan st fuel =
   if fuel <= 0 then Plan.Scan (random_atom st)
   else
@@ -225,8 +234,9 @@ let rec random_plan st fuel =
       let left = random_plan st (fuel - 2) in
       let right = random_plan st (fuel - 2) in
       let on = common (Plan.out_cols left) (Plan.out_cols right) in
-      if Random.State.bool st then Plan.Hash_join { left; right; on }
-      else Plan.Merge_join { left; right; on }
+      maybe_sip st
+        (if Random.State.bool st then Plan.Hash_join { left; right; on }
+         else Plan.Merge_join { left; right; on })
     | 2 -> (
       let left = random_plan st (fuel - 1) in
       match Plan.out_cols left with
@@ -245,7 +255,7 @@ let rec random_plan st fuel =
             Atom.Ra (pick st roles, Term.Var probe_col, other)
           else Atom.Ra (pick st roles, other, Term.Var probe_col)
         in
-        Plan.Index_join { left; atom; probe_col })
+        maybe_sip st (Plan.Index_join { left; atom; probe_col }))
     | 3 ->
       let input = random_plan st (fuel - 1) in
       let keep =

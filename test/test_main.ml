@@ -8,6 +8,7 @@ let () =
       "covers", Test_cover.suite;
       "rdbms", Test_rdbms.suite;
       "batch", Test_batch.suite;
+      "sip", Test_sip.suite;
       "optimizer", Test_optimizer.suite;
       "obda", Test_obda.suite;
       "lubm", Test_lubm.suite;

@@ -112,6 +112,7 @@ let test_index_join_plan_used () =
     | Plan.Project { input; _ } -> has_index_join input
     | Plan.Distinct p | Plan.Materialize p -> has_index_join p
     | Plan.Union { inputs; _ } -> List.exists has_index_join inputs
+    | Plan.Sip { join; _ } -> has_index_join join
   in
   check_bool "index join chosen" true (has_index_join plan);
   check_int "correct answers" 334 (List.length (Exec.answers layout plan))
@@ -162,7 +163,7 @@ let test_storage_dedup_stats () =
   check_int "card" 3 st.Storage.card;
   check_int "ndv subject" 2 st.Storage.ndv.(0);
   check_int "ndv object" 2 st.Storage.ndv.(1);
-  check_int "lookup subject" 2 (List.length (Storage.role_lookup_subject s "R" 0));
+  check_int "lookup subject" 2 (Array.length (Storage.role_lookup_subject_arr s "R" 0));
   check_bool "concept membership" true (Storage.concept_mem s "A" 0)
 
 (* {1 Incremental updates} *)
@@ -179,7 +180,8 @@ let test_storage_insert () =
   (* indexes and stats follow *)
   check_bool "membership index updated" true (Storage.concept_mem s "A" 0 || true);
   let code = Option.get (Dllite.Dict.find (Storage.dict s) "a9") in
-  check_int "subject index sees it" 1 (List.length (Storage.role_lookup_subject s "R" code));
+  check_int "subject index sees it" 1
+    (Array.length (Storage.role_lookup_subject_arr s "R" code));
   check_int "stats card" 4 (Storage.role_stats s "R").Storage.card
 
 let test_rdf_insert () =
@@ -190,7 +192,8 @@ let test_rdf_insert () =
   check_bool "dup pair" false (Rdf_layout.insert_role r ~role:"R" ~subj:"zz" ~obj:"b1");
   check_int "role card bumped" 4 (Rdf_layout.role_card r "R");
   let code = Option.get (Dllite.Dict.find (Rdf_layout.dict r) "zz") in
-  check_int "readable via index" 1 (List.length (Rdf_layout.role_lookup_subject r "R" code))
+  check_int "readable via index" 1
+    (Array.length (Rdf_layout.role_lookup_subject_arr r "R" code))
 
 (* {1 RDF layout} *)
 
@@ -221,7 +224,7 @@ let test_rdf_layout_spills () =
   Alcotest.(check (list (pair int int)))
     "subject lookup sees both"
     (List.sort compare (Array.to_list (Rdf_layout.role_rows rdf "R")))
-    (List.sort compare (Rdf_layout.role_lookup_subject rdf "R" s_code))
+    (List.sort compare (Array.to_list (Rdf_layout.role_lookup_subject_arr rdf "R" s_code)))
 
 let test_rdf_scan_work_higher () =
   let abox = example1_abox () in
