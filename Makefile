@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test doc bench-smoke bench-replay bench-engine bench-sip bench ci clean
+.PHONY: all build test doc bench-smoke bench-replay bench-engine bench-sip bench-storage bench ci clean
 
 all: build
 
@@ -46,11 +46,22 @@ bench-sip: build
 	$(DUNE) exec bench/main.exe -- --exp sip --small 5000 \
 	  --json BENCH_PR5.json
 
+# The E17 storage experiment: streaming generator -> compressed
+# segmented columns -> binary save -> mmap reopen, with bytes/fact,
+# build/save/open times, and zone-map segment-skip counts per workload
+# query recorded to BENCH_PR6.json. Fails if answers diverge between
+# the in-memory, mmap-backed and reference engines, if the encoded
+# columns exceed 50% of flat arrays, or if no query skips 30% of its
+# segments.
+bench-storage: build
+	$(DUNE) exec bench/main.exe -- --exp storage --small 5000 --large 20000 \
+	  --json BENCH_PR6.json
+
 # The full benchmark suite at the default (sequential) job count.
 bench: build
 	$(DUNE) exec bench/main.exe
 
-ci: test doc bench-smoke bench-replay bench-engine bench-sip
+ci: test doc bench-smoke bench-replay bench-engine bench-sip bench-storage
 
 clean:
 	$(DUNE) clean

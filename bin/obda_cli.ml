@@ -2,6 +2,7 @@
 
    Subcommands:
      generate   produce a LUBMe ABox file
+     store      build/inspect a binary column store (mmap-reopenable)
      workload   list the benchmark queries
      answer     answer a workload query end to end
      explain    show the chosen reformulation, cover and SQL
@@ -100,6 +101,25 @@ let query_string_arg =
            ~doc:"An inline conjunctive query, e.g. \
                  'q(?x) <- PhDStudent(?x), worksWith(?y, ?x)'. Overrides --query.")
 
+let store_arg =
+  Arg.(value & opt (some string) None
+       & info [ "store" ] ~docv:"FILE"
+           ~doc:"Open the ABox from a binary column store written by \
+                 $(b,store save) (mmap, O(segments) open; implies the simple \
+                 layout). Overrides --data/--facts/--rdf.")
+
+let load_storage file =
+  match Rdbms.Storage.load file with
+  | Ok s -> s
+  | Error msg ->
+    Fmt.epr "obda-cli: %s@." msg;
+    exit 1
+
+let tbox_of tbox_file =
+  match tbox_file with
+  | Some file -> Syntax.Tbox_text.load file
+  | None -> Lubm.Ontology.tbox
+
 (* The knowledge base a command operates on: an RDF graph, a custom
    TBox with generated/loaded data, or the built-in LUBMe setup. *)
 let load_kb rdf tbox_file data facts seed =
@@ -108,11 +128,7 @@ let load_kb rdf tbox_file data facts seed =
     let kb = Rdf.Rdfs.load_kb file in
     Dllite.Kb.tbox kb, Dllite.Kb.abox kb
   | None ->
-    let tbox =
-      match tbox_file with
-      | Some file -> Syntax.Tbox_text.load file
-      | None -> Lubm.Ontology.tbox
-    in
+    let tbox = tbox_of tbox_file in
     let abox =
       match data with
       | Some file -> (
@@ -149,6 +165,73 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate a LUBMe ABox file.")
     Term.(const run $ facts_arg $ seed_arg $ out_arg)
 
+(* {1 store} *)
+
+let pp_storage_stats ppf s =
+  let enc = Rdbms.Storage.column_bytes s and flat = Rdbms.Storage.flat_bytes s in
+  Fmt.pf ppf
+    "%d facts, %d individuals, %d concepts, %d roles; %d bytes encoded \
+     (%.2f bytes/fact, %.0f%% of flat arrays)"
+    (Rdbms.Storage.total_facts s)
+    (Rdbms.Storage.individual_count s)
+    (List.length (Rdbms.Storage.concept_names s))
+    (List.length (Rdbms.Storage.role_names s))
+    enc
+    (float_of_int enc /. float_of_int (max 1 (Rdbms.Storage.total_facts s)))
+    (100. *. float_of_int enc /. float_of_int (max 1 flat))
+
+let store_save_cmd =
+  let out_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Output store file.")
+  in
+  let run facts seed data out =
+    let storage =
+      match data with
+      | Some file -> (
+        match Dllite.Abox.load file with
+        | Ok abox -> Rdbms.Storage.of_abox abox
+        | Error e ->
+          Fmt.epr "obda-cli: %s: %a@." file Dllite.Abox.pp_parse_error e;
+          exit 1)
+      | None ->
+        (* stream the generator straight into the column builder: no
+           intermediate row-form ABox, so --facts can go to tens of
+           millions without exhausting memory *)
+        let b = Rdbms.Storage.Builder.create () in
+        ignore
+          (Lubm.Generator.generate_into ~seed ~target_facts:facts
+             ~add_concept:(fun ~concept ~ind ->
+               Rdbms.Storage.Builder.add_concept b ~concept ~ind)
+             ~add_role:(fun ~role ~subj ~obj ->
+               Rdbms.Storage.Builder.add_role b ~role ~subj ~obj)
+             ());
+        Rdbms.Storage.Builder.finish b
+    in
+    Rdbms.Storage.save storage out;
+    Fmt.pr "wrote %a to %s@." pp_storage_stats storage out
+  in
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:"Build a binary column store (from --data or the generator) and \
+             write it to $(i,FILE) for later $(b,--store) reuse.")
+    Term.(const run $ facts_arg $ seed_arg $ data_arg $ out_arg)
+
+let store_info_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Store file.")
+  in
+  let run file = Fmt.pr "%s: %a@." file pp_storage_stats (load_storage file) in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Open a store (mmap) and print its statistics.")
+    Term.(const run $ file_arg)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Build or inspect binary column stores (compressed segments + zone \
+             maps, reopened by mmap in O(segments)).")
+    [ store_save_cmd; store_info_cmd ]
+
 (* {1 workload} *)
 
 let workload_cmd =
@@ -180,12 +263,20 @@ let write_metrics = function
     close_out oc
 
 let answer_cmd =
-  let run facts seed data rdf tbox_file inline qname engine_kind layout strategy limit
-      jobs metrics plan_cap reform_cap cache_stats =
+  let run facts seed data rdf store tbox_file inline qname engine_kind layout strategy
+      limit jobs metrics plan_cap reform_cap cache_stats =
     apply_jobs jobs;
     apply_caches plan_cap reform_cap;
-    let tbox, abox = load_kb rdf tbox_file data facts seed in
-    let engine = Obda.make_engine engine_kind layout abox in
+    let tbox, engine =
+      match store with
+      | Some file ->
+        ( tbox_of tbox_file,
+          Obda.make_engine_of_layout engine_kind
+            (Rdbms.Layout.of_storage (load_storage file)) )
+      | None ->
+        let tbox, abox = load_kb rdf tbox_file data facts seed in
+        tbox, Obda.make_engine engine_kind layout abox
+    in
     let q = find_query ~inline qname in
     let o = Obda.answer engine tbox strategy q in
     write_metrics metrics;
@@ -210,10 +301,10 @@ let answer_cmd =
   in
   Cmd.v
     (Cmd.info "answer" ~doc:"Answer a workload query end to end.")
-    Term.(const run $ facts_arg $ seed_arg $ data_arg $ rdf_arg $ tbox_arg
-          $ query_string_arg $ query_arg $ engine_arg $ layout_arg $ strategy_arg
-          $ limit_arg $ jobs_arg $ metrics_arg $ plan_cache_arg $ reform_cache_arg
-          $ cache_stats_arg)
+    Term.(const run $ facts_arg $ seed_arg $ data_arg $ rdf_arg $ store_arg
+          $ tbox_arg $ query_string_arg $ query_arg $ engine_arg $ layout_arg
+          $ strategy_arg $ limit_arg $ jobs_arg $ metrics_arg $ plan_cache_arg
+          $ reform_cache_arg $ cache_stats_arg)
 
 (* {1 explain} *)
 
@@ -246,11 +337,19 @@ let explain_cmd =
              ~doc:"Record and print the optimizer's cover-search trace (one \
                    candidate/accepted/rejected/chosen event per cover considered).")
   in
-  let run facts seed data rdf tbox_file inline qname engine_kind layout strategy
+  let run facts seed data rdf store tbox_file inline qname engine_kind layout strategy
       show_plan show_datalog show_sql analyze format trace jobs =
     apply_jobs jobs;
-    let tbox, abox = load_kb rdf tbox_file data facts seed in
-    let engine = Obda.make_engine engine_kind layout abox in
+    let tbox, engine =
+      match store with
+      | Some file ->
+        ( tbox_of tbox_file,
+          Obda.make_engine_of_layout engine_kind
+            (Rdbms.Layout.of_storage (load_storage file)) )
+      | None ->
+        let tbox, abox = load_kb rdf tbox_file data facts seed in
+        tbox, Obda.make_engine engine_kind layout abox
+    in
     let q = find_query ~inline qname in
     let reformulate () = Obda.reformulate engine tbox strategy q in
     let fol, events =
@@ -336,10 +435,10 @@ let explain_cmd =
     (Cmd.info "explain"
        ~doc:"Show the reformulation a strategy chooses, with cost estimates; \
              $(b,--analyze) also executes it and confronts estimates with actuals.")
-    Term.(const run $ facts_arg $ seed_arg $ data_arg $ rdf_arg $ tbox_arg
-          $ query_string_arg $ query_arg $ engine_arg $ layout_arg $ strategy_arg
-          $ plan_arg $ datalog_arg $ sql_flag_arg $ analyze_arg $ format_arg
-          $ trace_arg $ jobs_arg)
+    Term.(const run $ facts_arg $ seed_arg $ data_arg $ rdf_arg $ store_arg
+          $ tbox_arg $ query_string_arg $ query_arg $ engine_arg $ layout_arg
+          $ strategy_arg $ plan_arg $ datalog_arg $ sql_flag_arg $ analyze_arg
+          $ format_arg $ trace_arg $ jobs_arg)
 
 (* {1 covers} *)
 
@@ -410,4 +509,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; workload_cmd; answer_cmd; explain_cmd; covers_cmd; check_cmd; saturate_cmd ]))
+          [ generate_cmd; store_cmd; workload_cmd; answer_cmd; explain_cmd; covers_cmd;
+            check_cmd; saturate_cmd ]))

@@ -29,8 +29,16 @@ let subjects =
     "Robotics";
   ]
 
+(* The generator emits assertions through callbacks rather than into a
+   concrete ABox, so the same deterministic stream can fill either an
+   in-memory [Dllite.Abox.t] or a {!Rdbms.Storage.Builder} directly —
+   at tens of millions of facts the intermediate row-form ABox is the
+   memory bottleneck, not the store. [emitted] counts every callback
+   (duplicates included), the same accounting as [Dllite.Abox.size]. *)
 type gen = {
-  abox : Dllite.Abox.t;
+  emit_concept : concept:string -> ind:string -> unit;
+  emit_role : role:string -> subj:string -> obj:string -> unit;
+  mutable emitted : int;
   rng : Rng.t;
   mutable universities : string list;
   mutable journals : string list;
@@ -40,9 +48,13 @@ type gen = {
   mutable semesters : string list;
 }
 
-let cpt g concept ind = Dllite.Abox.add_concept g.abox ~concept ~ind
+let cpt g concept ind =
+  g.emit_concept ~concept ~ind;
+  g.emitted <- g.emitted + 1
 
-let role g role subj obj = Dllite.Abox.add_role g.abox ~role ~subj ~obj
+let role g role subj obj =
+  g.emit_role ~role ~subj ~obj;
+  g.emitted <- g.emitted + 1
 
 let setup_globals g =
   (* subjects are individuals of their own concept *)
@@ -230,10 +242,12 @@ let generate_department g ~univ ~dept_id =
     role g deg alum univ
   done
 
-let generate ?(seed = 42) ~target_facts () =
+let generate_into ?(seed = 42) ~target_facts ~add_concept ~add_role () =
   let g =
     {
-      abox = Dllite.Abox.create ();
+      emit_concept = add_concept;
+      emit_role = add_role;
+      emitted = 0;
       rng = Rng.create seed;
       universities = [];
       journals = [];
@@ -245,19 +259,29 @@ let generate ?(seed = 42) ~target_facts () =
   in
   setup_globals g;
   let uid = ref 0 in
-  while Dllite.Abox.size g.abox < target_facts do
+  while g.emitted < target_facts do
     let univ = Printf.sprintf "univ%d" !uid in
     incr uid;
     cpt g "University" univ;
     g.universities <- univ :: g.universities;
     let dept_count = 6 + Rng.int g.rng 6 in
     let d = ref 0 in
-    while !d < dept_count && Dllite.Abox.size g.abox < target_facts do
+    while !d < dept_count && g.emitted < target_facts do
       generate_department g ~univ ~dept_id:!d;
       incr d
     done
   done;
-  g.abox
+  g.emitted
+
+let generate ?seed ~target_facts () =
+  let abox = Dllite.Abox.create () in
+  let _ =
+    generate_into ?seed ~target_facts
+      ~add_concept:(fun ~concept ~ind -> Dllite.Abox.add_concept abox ~concept ~ind)
+      ~add_role:(fun ~role ~subj ~obj -> Dllite.Abox.add_role abox ~role ~subj ~obj)
+      ()
+  in
+  abox
 
 let scale_name facts =
   if facts >= 1_000_000 then Printf.sprintf "LUBMe-%dM" (facts / 1_000_000)

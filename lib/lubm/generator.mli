@@ -15,5 +15,19 @@ val generate : ?seed:int -> target_facts:int -> unit -> Dllite.Abox.t
     of the department that crosses the budget). The result is
     T-consistent w.r.t. {!Ontology.tbox}; the test-suite checks it. *)
 
+val generate_into :
+  ?seed:int ->
+  target_facts:int ->
+  add_concept:(concept:string -> ind:string -> unit) ->
+  add_role:(role:string -> subj:string -> obj:string -> unit) ->
+  unit ->
+  int
+(** Streaming variant: the same deterministic assertion stream as
+    {!generate} (for equal [seed] and [target_facts]), emitted through
+    the callbacks instead of materialised — e.g. straight into a
+    {!Rdbms.Storage.Builder}, skipping the row-form ABox entirely.
+    Returns the number of assertions emitted (duplicates included, the
+    same count {!Dllite.Abox.size} would report). *)
+
 val scale_name : int -> string
 (** Human-readable label, e.g. ["LUBMe-100k"]. *)

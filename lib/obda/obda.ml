@@ -18,16 +18,11 @@ type engine = {
 
 let next_engine_id = Atomic.make 0
 
-let make_engine kind layout_kind abox =
+let make_engine_of_layout kind layout =
   let profile =
     match kind with
     | `Pglite -> Rdbms.Explain.pglite
     | `Db2lite -> Rdbms.Explain.db2lite
-  in
-  let layout =
-    match layout_kind with
-    | `Simple -> Rdbms.Layout.simple_of_abox abox
-    | `Rdf -> Rdbms.Layout.rdf_of_abox abox
   in
   {
     profile;
@@ -38,6 +33,12 @@ let make_engine kind layout_kind abox =
     views = None;
     sip = true;
   }
+
+let make_engine kind layout_kind abox =
+  make_engine_of_layout kind
+    (match layout_kind with
+    | `Simple -> Rdbms.Layout.simple_of_abox abox
+    | `Rdf -> Rdbms.Layout.rdf_of_abox abox)
 
 let generation e = e.generation
 

@@ -20,6 +20,11 @@ type engine
 val make_engine : engine_kind -> layout_kind -> Dllite.Abox.t -> engine
 (** Loads the ABox into the chosen layout. *)
 
+val make_engine_of_layout : engine_kind -> Rdbms.Layout.t -> engine
+(** Wraps an already-built layout — a store streamed in through
+    {!Rdbms.Storage.Builder} or reopened with {!Rdbms.Storage.load} —
+    without re-loading any ABox. *)
+
 val engine_name : engine -> string
 (** e.g. ["db2lite/rdf"]. *)
 

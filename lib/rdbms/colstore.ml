@@ -1,0 +1,120 @@
+type t = {
+  segs : Segment.t array;
+  len : int;
+  segment_rows : int;
+}
+
+let default_segment_rows = 65536
+
+(* Sorted runs count distinct values with one boundary comparison per
+   row; unsorted runs pay a small per-segment hash table. *)
+let sorted_ndv a ~off ~len =
+  if len = 0 then 0
+  else begin
+    let n = ref 1 in
+    for i = off + 1 to off + len - 1 do
+      if a.(i) <> a.(i - 1) then incr n
+    done;
+    !n
+  end
+
+let of_array ?(segment_rows = default_segment_rows) ?(sorted = false) a =
+  if segment_rows <= 0 then invalid_arg "Colstore.of_array: segment_rows";
+  let len = Array.length a in
+  let nsegs = (len + segment_rows - 1) / segment_rows in
+  let segs =
+    Array.init nsegs (fun i ->
+        let off = i * segment_rows in
+        let slen = min segment_rows (len - off) in
+        let ndv = if sorted then Some (sorted_ndv a ~off ~len:slen) else None in
+        Segment.encode ?ndv a ~off ~len:slen)
+  in
+  { segs; len; segment_rows }
+
+let of_segments ~segment_rows ~len segs =
+  if segment_rows <= 0 then Error "column: invalid segment size"
+  else begin
+    let nsegs = Array.length segs in
+    let expect = (len + segment_rows - 1) / segment_rows in
+    if nsegs <> expect then Error "column: segment count does not tile the length"
+    else begin
+      let ok = ref true in
+      Array.iteri
+        (fun i s ->
+          let off = i * segment_rows in
+          if Segment.length s <> min segment_rows (len - off) then ok := false)
+        segs;
+      if !ok then Ok { segs; len; segment_rows }
+      else Error "column: segment lengths do not tile the length"
+    end
+  end
+
+let length t = t.len
+
+let segment_rows t = t.segment_rows
+
+let seg_count t = Array.length t.segs
+
+let seg t i = t.segs.(i)
+
+let zone t i =
+  let s = t.segs.(i) in
+  s.Segment.base, s.Segment.zmax
+
+let to_array t =
+  let out = Array.make t.len 0 in
+  Array.iteri
+    (fun i s ->
+      let d = Segment.decode s in
+      Array.blit d 0 out (i * t.segment_rows) (Array.length d))
+    t.segs;
+  out
+
+let get t i = Segment.get t.segs.(i / t.segment_rows) (i mod t.segment_rows)
+
+let bytes t = Array.fold_left (fun acc s -> acc + Segment.bytes s) 32 t.segs
+
+let min_max t =
+  if t.len = 0 then None
+  else
+    Some
+      (Array.fold_left
+         (fun (lo, hi) s -> min lo s.Segment.base, max hi s.Segment.zmax)
+         (max_int, min_int) t.segs)
+
+let eq_rows_est t code =
+  Array.fold_left
+    (fun acc s ->
+      if s.Segment.len > 0 && code >= s.Segment.base && code <= s.Segment.zmax then
+        acc + ((s.Segment.len + s.Segment.ndv - 1) / max 1 s.Segment.ndv)
+      else acc)
+    0 t.segs
+
+(* {2 Scan accounting} *)
+
+let scanned = Atomic.make 0
+
+let skipped = Atomic.make 0
+
+let m_scanned =
+  Obs.Metrics.counter ~help:"column segments decoded by scans" "storage.segments_scanned"
+
+let m_skipped =
+  Obs.Metrics.counter ~help:"column segments skipped by zone-map pruning"
+    "storage.segments_skipped"
+
+let note_segment ~skipped:sk =
+  if sk then begin
+    Atomic.incr skipped;
+    Obs.Metrics.incr m_skipped
+  end
+  else begin
+    Atomic.incr scanned;
+    Obs.Metrics.incr m_scanned
+  end
+
+let scan_counters () = Atomic.get scanned, Atomic.get skipped
+
+let reset_scan_counters () =
+  Atomic.set scanned 0;
+  Atomic.set skipped 0

@@ -1,0 +1,63 @@
+(** A segmented compressed column: one dictionary-encoded storage
+    column split into fixed-size runs of {!Segment.t}. This is the
+    ground-truth representation of every concept and role column in
+    {!Storage}; flat [int array] views are decoded from it lazily.
+
+    All segments but the last hold exactly [segment_rows] rows, so a
+    row index maps to its segment by division and two columns built
+    with the same [segment_rows] over the same length are
+    segment-aligned — a role's subject and object columns share
+    segment boundaries and can be scanned in lockstep. *)
+
+type t
+
+val default_segment_rows : int
+(** 65536 rows per segment. *)
+
+val of_array : ?segment_rows:int -> ?sorted:bool -> int array -> t
+(** Encodes a whole column. [sorted] lets the encoder count distinct
+    values by boundary comparison instead of hashing. *)
+
+val of_segments : segment_rows:int -> len:int -> Segment.t array -> (t, string) result
+(** Reassembles a column from loaded segments, validating that their
+    lengths tile [len] in [segment_rows]-sized runs. *)
+
+val length : t -> int
+
+val segment_rows : t -> int
+
+val seg_count : t -> int
+
+val seg : t -> int -> Segment.t
+
+val zone : t -> int -> int * int
+(** [(min, max)] of segment [i], read off the zone map — no decode. *)
+
+val to_array : t -> int array
+(** Full decode into a fresh array. *)
+
+val get : t -> int -> int
+
+val bytes : t -> int
+(** Encoded footprint (payload words + per-segment metadata). *)
+
+val min_max : t -> (int * int) option
+(** Column-wide value bounds from the zone maps; [None] when empty. *)
+
+val eq_rows_est : t -> int -> int
+(** Zone-map estimate of the rows equal to a code: the sum over the
+    segments whose zone contains it of [len / ndv] (rounded up). [0]
+    means the code provably does not occur in the column. *)
+
+(** {2 Scan accounting}
+
+    Process-wide counters of segments decoded vs skipped by zone-map
+    pruning, mirrored into the metrics registry
+    ([storage.segments_scanned] / [storage.segments_skipped]). *)
+
+val note_segment : skipped:bool -> unit
+
+val scan_counters : unit -> int * int
+(** [(scanned, skipped)] since the last reset. *)
+
+val reset_scan_counters : unit -> unit

@@ -447,6 +447,54 @@ let sip_col on dir =
   | [ c ] -> Some (c, dir)
   | _ -> None
 
+(* Zone-map-pruned segmented scan: when a sideways reducer binds a
+   column of a full variable scan on the simple layout, stream the
+   stored compressed segments directly ({!Physical.segments_scan}) and
+   let the reducer's exact key range discard whole segments off their
+   zone maps before any decoding. Only the uncached configuration
+   takes this path — the scan cache must store the canonical
+   unfiltered relation, so cached scans keep materialising. Row-level
+   reducer filtering still applies on top ([apply_sip]); the zone test
+   is the necessary-condition prefilter, never the membership test. *)
+let segmented_scan_op ctx (env : senv) atom =
+  if ctx.config.scan_cache || env = [] then None
+  else
+    match ctx.layout with
+    | Layout.Rdf _ -> None
+    | Layout.Simple s -> (
+      let zone_miss col r i =
+        let lo, hi = Colstore.zone col i in
+        not (Sip.overlaps_range r ~lo ~hi)
+      in
+      let count_scan () =
+        Atomic.incr ctx.counters.scans;
+        Obs.Metrics.incr m_scan_requests
+      in
+      match atom with
+      | Atom.Ca (p, Term.Var v) when List.mem_assoc v env -> (
+        match Storage.concept_col s p with
+        | None -> None
+        | Some col ->
+          let r = List.assoc v env in
+          count_scan ();
+          Some
+            (Physical.segments_scan ~cols:[| v |] ~skip:(zone_miss col r)
+               [| col |]))
+      | Atom.Ra (p, Term.Var v1, Term.Var v2)
+        when v1 <> v2 && (List.mem_assoc v1 env || List.mem_assoc v2 env) -> (
+        match Storage.role_colstores s p with
+        | None -> None
+        | Some (scol, ocol) ->
+          let side col v i =
+            match List.assoc_opt v env with
+            | None -> false
+            | Some r -> zone_miss col r i
+          in
+          let skip i = side scol v1 i || side ocol v2 i in
+          count_scan ();
+          Some (Physical.segments_scan ~cols:[| v1; v2 |] ~skip [| scol; ocol |]))
+      | _ -> None)
+
 (* {2 Plan compilation}
 
    [compile] turns a logical plan into an opened physical operator
@@ -468,7 +516,10 @@ let encode_out ctx out =
 
 let rec compile ctx env plan =
   match plan with
-  | Plan.Scan atom -> apply_sip env (Physical.of_relation (fst (scan ctx atom)))
+  | Plan.Scan atom -> (
+    match segmented_scan_op ctx env atom with
+    | Some op -> apply_sip env op
+    | None -> apply_sip env (Physical.of_relation (fst (scan ctx atom))))
   | Plan.Hash_join { left; right; on } -> compile_hash ctx env None left right on
   | Plan.Merge_join { left; right; on } -> compile_merge ctx env None left right on
   | Plan.Index_join { left; atom; probe_col } ->
@@ -859,16 +910,22 @@ let rec compile_analyzed ctx env plan =
     finish ~pruned ?reducer:(Option.map Sip.kind_name r) op [ ls ]
   in
   match plan with
-  | Plan.Scan atom ->
-    let rel, outcome = scan ctx atom in
-    let pruned = ref 0 in
-    let op =
-      apply_sip
-        ~on_pruned:(fun n -> pruned := !pruned + n)
-        env
-        (Physical.of_relation rel)
-    in
-    finish ~cache:outcome ~pruned op []
+  | Plan.Scan atom -> (
+    match segmented_scan_op ctx env atom with
+    | Some sop ->
+      let pruned = ref 0 in
+      let op = apply_sip ~on_pruned:(fun n -> pruned := !pruned + n) env sop in
+      finish ~cache:Uncached ~pruned op []
+    | None ->
+      let rel, outcome = scan ctx atom in
+      let pruned = ref 0 in
+      let op =
+        apply_sip
+          ~on_pruned:(fun n -> pruned := !pruned + n)
+          env
+          (Physical.of_relation rel)
+      in
+      finish ~cache:outcome ~pruned op [])
   | Plan.Hash_join { left; right; on } -> hash_analyzed None left right on
   | Plan.Merge_join { left; right; on } -> merge_analyzed None left right on
   | Plan.Index_join { left; atom; probe_col } ->

@@ -4,6 +4,8 @@ type t =
 
 let simple_of_abox abox = Simple (Storage.of_abox abox)
 
+let of_storage s = Simple s
+
 let rdf_of_abox ?width abox = Rdf (Rdf_layout.of_abox ?width abox)
 
 let name = function Simple _ -> "simple" | Rdf _ -> "rdf"
@@ -68,12 +70,32 @@ let individual_count = function
   | Simple s -> Storage.individual_count s
   | Rdf r -> Rdf_layout.individual_count r
 
-(* Histogram-backed selectivity for an equality on a role column; the
-   RDF layout keeps only coarse statistics, like the store it models. *)
+(* Segment access: only the simple layout stores compressed columns;
+   the RDF wide tables keep their own representation. *)
+let concept_col t n =
+  match t with Simple s -> Storage.concept_col s n | Rdf _ -> None
+
+let role_colstores t n =
+  match t with Simple s -> Storage.role_colstores s n | Rdf _ -> None
+
+(* Histogram-backed selectivity for an equality on a role column,
+   refined by the zone maps: when the code falls outside every
+   segment's [min, max] the zone estimate is 0 and the value is
+   provably absent — a certainty the equi-depth histogram cannot
+   express (it answers a bucket average for any in-range code). A
+   nonzero zone estimate is per-segment [len/ndv], an average that
+   would erase the histogram's skew information, so the histogram
+   wins there. The RDF layout keeps only coarse statistics, like the
+   store it models. *)
 let role_eq_rows t role side code =
   match t with
   | Simple s ->
-    Option.map (fun h -> Histogram.est_eq h code) (Storage.role_histogram s role side)
+    Option.map
+      (fun h ->
+        match Storage.role_eq_zone_rows s role side code with
+        | Some 0 -> 0.
+        | _ -> Histogram.est_eq h code)
+      (Storage.role_histogram s role side)
   | Rdf _ -> None
 
 let insert_concept t ~concept ~ind =

@@ -10,6 +10,10 @@ val simple_of_abox : Dllite.Abox.t -> t
 (** Load an ABox into the simple layout (one deduped table per
     concept/role). *)
 
+val of_storage : Storage.t -> t
+(** Wrap an already-built simple-layout store (e.g. one streamed in
+    through {!Storage.Builder} or reopened with {!Storage.load}). *)
+
 val rdf_of_abox : ?width:int -> Dllite.Abox.t -> t
 (** Load an ABox into the DB2RDF-style wide tables ([width] = number of
     predicate/object column pairs per row; defaults in
@@ -67,10 +71,19 @@ val total_facts : t -> int
 val individual_count : t -> int
 (** Number of distinct individuals in the dictionary. *)
 
+val concept_col : t -> string -> Colstore.t option
+(** The concept's compressed column ([None] on the RDF layout). *)
+
+val role_colstores : t -> string -> (Colstore.t * Colstore.t) option
+(** The role's compressed (subject, object) columns ([None] on the
+    RDF layout). *)
+
 val role_eq_rows : t -> string -> [ `Subject | `Object ] -> int -> float option
 (** Histogram-based estimate of the rows of a role whose subject or
-    object equals the given code ([None] when no histogram exists —
-    notably on the RDF layout). *)
+    object equals the given code. On the simple layout the zone maps
+    refine it to an exact [0.] when the code falls outside every
+    segment's range (provably absent). [None] when no histogram exists
+    — notably on the RDF layout. *)
 
 val insert_concept : t -> concept:string -> ind:string -> bool
 (** Incrementally asserts a concept fact; [false] if already stored. *)

@@ -37,6 +37,46 @@ let of_relation ?(batch_size = Batch.default_size) (r : Relation.t) =
   in
   { cols = r.Relation.cols; next; close = no_close }
 
+(* Segment-at-a-time scan over compressed columns: each [next] decodes
+   at most [batch_size] rows of the current segment into fresh column
+   arrays, and [skip] consults the zone maps {e before} any decoding —
+   a skipped segment costs one predicate call, its rows are never
+   unpacked. The stores must be segment-aligned (same [segment_rows],
+   same length), which {!Storage} guarantees for a role's two columns. *)
+let segments_scan ?(batch_size = Batch.default_size) ~cols ~skip stores =
+  let nsegs =
+    if Array.length stores = 0 then 0 else Colstore.seg_count stores.(0)
+  in
+  let si = ref 0 and off = ref 0 in
+  let rec next () =
+    if !si >= nsegs then None
+    else begin
+      let seg_len = Segment.length (Colstore.seg stores.(0) !si) in
+      if !off = 0 && skip !si then begin
+        Colstore.note_segment ~skipped:true;
+        incr si;
+        next ()
+      end
+      else begin
+        if !off = 0 then Colstore.note_segment ~skipped:false;
+        let len = min batch_size (seg_len - !off) in
+        let data =
+          Array.map
+            (fun st -> Segment.decode_slice (Colstore.seg st !si) ~off:!off ~len)
+            stores
+        in
+        let b = { Batch.cols; data; sel = None; off = 0; len } in
+        off := !off + len;
+        if !off >= seg_len then begin
+          incr si;
+          off := 0
+        end;
+        Some b
+      end
+    end
+  in
+  { cols; next; close = no_close }
+
 (* Draining sink. A single whole batch adopts its backing arrays
    (scans that were materialised anyway convert back for free);
    otherwise the exact output size is known after the drain, so each

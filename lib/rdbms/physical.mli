@@ -24,6 +24,20 @@ val of_relation : ?batch_size:int -> Relation.t -> op
 (** Streams a materialised relation as contiguous zero-copy windows of
     [batch_size] (default {!Batch.default_size}) rows. *)
 
+val segments_scan :
+  ?batch_size:int ->
+  cols:string array ->
+  skip:(int -> bool) ->
+  Colstore.t array ->
+  op
+(** Streams segment-aligned compressed columns (one {!Colstore.t} per
+    output column), decoding lazily in windows of at most [batch_size]
+    rows. [skip i] is consulted once per segment {e before} decoding —
+    returning [true] (e.g. because a sideways-information-passing
+    reducer's key range misses the segment's zone map) drops all of
+    segment [i]'s rows at the cost of a single predicate call. Both
+    outcomes feed the {!Colstore} scan counters. *)
+
 val to_relation : op -> Relation.t
 (** Drains (and closes) an operator into a relation. A single whole
     batch adopts its backing arrays; otherwise the output columns are

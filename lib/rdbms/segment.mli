@@ -1,0 +1,53 @@
+(** One immutable compressed run of a column: up to {!Colstore}'s
+    segment size of dictionary codes, frame-of-reference encoded
+    (values are stored as [v - base]) and bit-packed into 64-bit
+    words. The words live in an [int64] {!Bigarray.Array1}, so an
+    in-memory segment and a slice of an mmapped file share one
+    representation — reopening a persisted store never copies or
+    re-encodes a payload.
+
+    Each segment carries its {e zone map}: the minimum ([base]),
+    maximum and number of distinct values of the run, letting scans
+    skip the whole segment — without decoding a single value — when a
+    predicate or semijoin reducer cannot intersect it. *)
+
+type words = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = private {
+  base : int;  (** minimum value of the run (= zone-map min) *)
+  bits : int;  (** code width; 0 when the run is constant *)
+  len : int;  (** number of rows *)
+  zmax : int;  (** zone-map max *)
+  ndv : int;  (** distinct values in the run *)
+  words : words;  (** [ceil (len * bits / 64)] packed words *)
+}
+
+val encode : ?ndv:int -> int array -> off:int -> len:int -> t
+(** Encodes [len] values of the array starting at [off]. Values must
+    be non-negative (dictionary codes). [ndv] overrides the distinct
+    count when the caller already knows it (e.g. sorted input);
+    otherwise it is computed exactly. An empty slice yields a valid
+    zero-row segment. *)
+
+val of_words :
+  base:int -> bits:int -> len:int -> zmax:int -> ndv:int -> words -> (t, string) result
+(** Reassembles a segment around an existing word array (a slice of an
+    mmapped file). Validates the invariants — width bounds, word
+    count, [base <= zmax], zero-width runs are constant — and reports
+    a human-readable reason instead of producing a segment that would
+    crash on access. *)
+
+val length : t -> int
+
+val get : t -> int -> int
+(** Random access to row [i] (unchecked beyond the packing bounds). *)
+
+val decode_slice : t -> off:int -> len:int -> int array
+(** Decodes rows [off, off+len) into a fresh array. *)
+
+val decode : t -> int array
+
+val word_count : t -> int
+
+val bytes : t -> int
+(** Payload plus fixed per-segment metadata, in bytes. *)

@@ -3,27 +3,35 @@ type table_stats = {
   ndv : int array;
 }
 
-(* Lazily built indexes are published through [Atomic.t] so parallel
-   plan arms can race on first use: both racers build the same index
-   from the immutable pairs array, a compare-and-set picks the winner,
-   and the atomic write orders the index contents before the pointer
+(* The ground truth of every table is its compressed segmented
+   column(s) ({!Colstore}): concept members sorted and deduplicated,
+   role pairs sorted by (subject, object) and deduplicated, so the
+   subject column is non-decreasing and frame-of-reference packs
+   tightly. Flat decoded arrays, hash indexes and histograms are all
+   derived snapshots, built lazily and published through [Atomic.t] so
+   parallel plan arms can race on first use: both racers build the
+   same value from the immutable segments, a compare-and-set picks the
+   winner, and the atomic write orders the contents before the pointer
    every reader dereferences. In-place maintenance ([insert_*]) is not
    concurrent with query evaluation by contract. *)
 type concept_table = {
-  mutable members : int array;  (* sorted, deduplicated *)
+  mutable col : Colstore.t;  (* sorted, deduplicated codes *)
+  members_c : int array option Atomic.t;  (* lazy decoded view *)
   member_set : (int, unit) Hashtbl.t option Atomic.t;  (* lazy index *)
 }
 
 type role_table = {
-  mutable pairs : (int * int) array;  (* deduplicated *)
+  mutable scol : Colstore.t;  (* subjects, (s,o)-sorted *)
+  mutable ocol : Colstore.t;  (* objects, segment-aligned with scol *)
   mutable r_stats : table_stats;
+  pairs_c : (int * int) array option Atomic.t;  (* lazy decoded view *)
   by_subject : (int, (int * int) array) Hashtbl.t option Atomic.t;
   by_object : (int, (int * int) array) Hashtbl.t option Atomic.t;
   hist_subject : Histogram.t option Atomic.t;  (* lazy column histograms *)
   hist_object : Histogram.t option Atomic.t;
   columns : (int array * int array) option Atomic.t;
-      (* lazy columnar projection: (subjects, objects) split out of
-         [pairs] once, shared zero-copy by every scan of the role *)
+      (* lazy decoded columnar projection: (subjects, objects), shared
+         zero-copy by every full scan of the role *)
 }
 
 type t = {
@@ -31,54 +39,147 @@ type t = {
   concepts : (string, concept_table) Hashtbl.t;
   roles : (string, role_table) Hashtbl.t;
   mutable total_facts : int;
+  segment_rows : int;
 }
 
-let dedup_int_array a =
-  let l = Array.to_list a in
-  Array.of_list (List.sort_uniq Int.compare l)
+let m_load_ns =
+  Obs.Metrics.counter ~help:"cumulative storage load/open time (ns)" "storage.load_ns"
 
-let dedup_pair_array a =
-  let l = Array.to_list a in
-  Array.of_list (List.sort_uniq Stdlib.compare l)
+let timed_load f =
+  let t0 = Obs.Mclock.now_ns () in
+  let r = f () in
+  Obs.Metrics.add m_load_ns (Int64.to_int (Obs.Mclock.elapsed_ns ~since:t0));
+  r
 
-let count_distinct extract pairs =
-  let seen = Hashtbl.create (max 16 (Array.length pairs)) in
-  Array.iter (fun p -> Hashtbl.replace seen (extract p) ()) pairs;
+(* {1 Sorting and deduplication}
+
+   One in-place sort followed by one compaction pass — no intermediate
+   lists (the former [List.sort_uniq] round-trip dominated load time
+   past a few million facts). *)
+
+let dedup_sorted a =
+  let n = Array.length a in
+  if n = 0 then a
+  else begin
+    let w = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(!w - 1) then begin
+        a.(!w) <- a.(i);
+        incr w
+      end
+    done;
+    if !w = n then a else Array.sub a 0 !w
+  end
+
+let sort_dedup_ints a =
+  Array.sort Int.compare a;
+  dedup_sorted a
+
+(* Pair columns sort through a packed 62-bit key (subject in the high
+   bits) whenever codes fit 31 bits — one unboxed int sort instead of
+   a polymorphic sort over boxed tuples. The tuple fallback keeps the
+   same (s, o) lexicographic order for out-of-range codes. *)
+let pack_limit = 1 lsl 31
+
+let sort_dedup_pairs subs objs =
+  let n = Array.length subs in
+  if n = 0 then [||], [||]
+  else begin
+    let maxc = ref 0 in
+    for i = 0 to n - 1 do
+      if subs.(i) > !maxc then maxc := subs.(i);
+      if objs.(i) > !maxc then maxc := objs.(i)
+    done;
+    if !maxc < pack_limit then begin
+      let keys = Array.init n (fun i -> (subs.(i) lsl 31) lor objs.(i)) in
+      let keys = sort_dedup_ints keys in
+      let m = Array.length keys in
+      let s = Array.make m 0 and o = Array.make m 0 in
+      for i = 0 to m - 1 do
+        s.(i) <- keys.(i) lsr 31;
+        o.(i) <- keys.(i) land (pack_limit - 1)
+      done;
+      s, o
+    end
+    else begin
+      let pairs = Array.init n (fun i -> subs.(i), objs.(i)) in
+      Array.sort compare pairs;
+      let w = ref 1 in
+      for i = 1 to n - 1 do
+        if pairs.(i) <> pairs.(!w - 1) then begin
+          pairs.(!w) <- pairs.(i);
+          incr w
+        end
+      done;
+      Array.init !w (fun i -> fst pairs.(i)), Array.init !w (fun i -> snd pairs.(i))
+    end
+  end
+
+let sorted_distinct a =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let d = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(i - 1) then incr d
+    done;
+    !d
+  end
+
+let count_distinct_arr a =
+  let seen = Hashtbl.create (max 16 (Array.length a)) in
+  Array.iter (fun v -> Hashtbl.replace seen v ()) a;
   Hashtbl.length seen
 
-let fresh_role_table pairs r_stats =
+(* {1 Table construction} *)
+
+let fresh_concept_table ?decoded ~segment_rows members =
   {
-    pairs;
-    r_stats;
+    col = Colstore.of_array ~segment_rows ~sorted:true members;
+    members_c = Atomic.make (if decoded = Some false then None else Some members);
+    member_set = Atomic.make None;
+  }
+
+(* [subs]/[objs] must already be (s,o)-sorted and deduplicated. *)
+let fresh_role_table ?decoded ~segment_rows subs objs =
+  let stats =
+    {
+      card = Array.length subs;
+      ndv = [| sorted_distinct subs; count_distinct_arr objs |];
+    }
+  in
+  {
+    scol = Colstore.of_array ~segment_rows ~sorted:true subs;
+    ocol = Colstore.of_array ~segment_rows objs;
+    r_stats = stats;
+    pairs_c = Atomic.make None;
     by_subject = Atomic.make None;
     by_object = Atomic.make None;
     hist_subject = Atomic.make None;
     hist_object = Atomic.make None;
-    columns = Atomic.make None;
+    columns = Atomic.make (if decoded = Some false then None else Some (subs, objs));
   }
 
-let of_abox abox =
-  let concepts = Hashtbl.create 64 and roles = Hashtbl.create 64 in
-  let total = ref 0 in
-  List.iter
-    (fun name ->
-      let members = dedup_int_array (Dllite.Abox.concept_members abox name) in
-      total := !total + Array.length members;
-      Hashtbl.replace concepts name { members; member_set = Atomic.make None })
-    (Dllite.Abox.concept_names abox);
-  List.iter
-    (fun name ->
-      let pairs = dedup_pair_array (Dllite.Abox.role_pairs abox name) in
-      total := !total + Array.length pairs;
-      let r_stats =
-        {
-          card = Array.length pairs;
-          ndv = [| count_distinct fst pairs; count_distinct snd pairs |];
-        }
-      in
-      Hashtbl.replace roles name (fresh_role_table pairs r_stats))
-    (Dllite.Abox.role_names abox);
-  { dict = Dllite.Abox.dict abox; concepts; roles; total_facts = !total }
+let of_abox ?(segment_rows = Colstore.default_segment_rows) abox =
+  timed_load (fun () ->
+      let concepts = Hashtbl.create 64 and roles = Hashtbl.create 64 in
+      let total = ref 0 in
+      List.iter
+        (fun name ->
+          let members = sort_dedup_ints (Dllite.Abox.concept_members abox name) in
+          total := !total + Array.length members;
+          Hashtbl.replace concepts name (fresh_concept_table ~segment_rows members))
+        (Dllite.Abox.concept_names abox);
+      List.iter
+        (fun name ->
+          let pairs = Dllite.Abox.role_pairs abox name in
+          let subs, objs =
+            sort_dedup_pairs (Array.map fst pairs) (Array.map snd pairs)
+          in
+          total := !total + Array.length subs;
+          Hashtbl.replace roles name (fresh_role_table ~segment_rows subs objs))
+        (Dllite.Abox.role_names abox);
+      { dict = Dllite.Abox.dict abox; concepts; roles; total_facts = !total; segment_rows })
 
 let dict t = t.dict
 
@@ -88,17 +189,50 @@ let concept_names t =
 let role_names t =
   List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.roles [])
 
+(* First reader builds and publishes; concurrent racers build the same
+   value and the compare-and-set loser adopts the winner's copy. *)
+let force_index cell build =
+  match Atomic.get cell with
+  | Some v -> v
+  | None ->
+    let v = build () in
+    if Atomic.compare_and_set cell None (Some v) then v
+    else Option.get (Atomic.get cell)
+
 let concept_rows t name =
   match Hashtbl.find_opt t.concepts name with
-  | Some ct -> ct.members
+  | Some ct -> force_index ct.members_c (fun () -> Colstore.to_array ct.col)
   | None -> [||]
 
+let empty_cols : int array * int array = [||], [||]
+
+(* Decoded columnar projection of a role table, built once per
+   segments snapshot (CAS-published like the hash indexes, replaced by
+   insertion). Scan relations alias these arrays directly. *)
+let role_cols t name =
+  match Hashtbl.find_opt t.roles name with
+  | None -> empty_cols
+  | Some rt ->
+    force_index rt.columns (fun () ->
+        Colstore.to_array rt.scol, Colstore.to_array rt.ocol)
+
 let role_rows t name =
-  match Hashtbl.find_opt t.roles name with Some rt -> rt.pairs | None -> [||]
+  match Hashtbl.find_opt t.roles name with
+  | None -> [||]
+  | Some rt ->
+    force_index rt.pairs_c (fun () ->
+        let subs, objs =
+          force_index rt.columns (fun () ->
+              Colstore.to_array rt.scol, Colstore.to_array rt.ocol)
+        in
+        Array.init (Array.length subs) (fun i -> subs.(i), objs.(i)))
 
 let concept_stats t name =
-  let members = concept_rows t name in
-  { card = Array.length members; ndv = [| Array.length members |] }
+  match Hashtbl.find_opt t.concepts name with
+  | Some ct ->
+    let n = Colstore.length ct.col in
+    { card = n; ndv = [| n |] }
+  | None -> { card = 0; ndv = [| 0 |] }
 
 let role_stats t name =
   match Hashtbl.find_opt t.roles name with
@@ -120,43 +254,21 @@ let group_by extract pairs =
   Hashtbl.iter (fun k l -> Hashtbl.replace out k (Array.of_list l)) h;
   out
 
-(* First reader builds and publishes; concurrent racers build the same
-   value and the compare-and-set loser adopts the winner's copy. *)
-let force_index cell build =
-  match Atomic.get cell with
-  | Some v -> v
-  | None ->
-    let v = build () in
-    if Atomic.compare_and_set cell None (Some v) then v
-    else Option.get (Atomic.get cell)
-
 let empty_pairs : (int * int) array = [||]
 
 let role_lookup_subject_arr t name subj =
   match Hashtbl.find_opt t.roles name with
   | None -> empty_pairs
   | Some rt ->
-    let idx = force_index rt.by_subject (fun () -> group_by fst rt.pairs) in
+    let idx = force_index rt.by_subject (fun () -> group_by fst (role_rows t name)) in
     Option.value ~default:empty_pairs (Hashtbl.find_opt idx subj)
 
 let role_lookup_object_arr t name obj =
   match Hashtbl.find_opt t.roles name with
   | None -> empty_pairs
   | Some rt ->
-    let idx = force_index rt.by_object (fun () -> group_by snd rt.pairs) in
+    let idx = force_index rt.by_object (fun () -> group_by snd (role_rows t name)) in
     Option.value ~default:empty_pairs (Hashtbl.find_opt idx obj)
-
-let empty_cols : int array * int array = [||], [||]
-
-(* Columnar projection of a role table, built once per pairs snapshot
-   (CAS-published like the hash indexes, invalidated by insertion).
-   Scan relations alias these arrays directly. *)
-let role_cols t name =
-  match Hashtbl.find_opt t.roles name with
-  | None -> empty_cols
-  | Some rt ->
-    force_index rt.columns (fun () ->
-        (Array.map fst rt.pairs, Array.map snd rt.pairs))
 
 let concept_mem t name ind =
   match Hashtbl.find_opt t.concepts name with
@@ -164,8 +276,9 @@ let concept_mem t name ind =
   | Some ct ->
     let idx =
       force_index ct.member_set (fun () ->
-          let h = Hashtbl.create (max 16 (Array.length ct.members)) in
-          Array.iter (fun m -> Hashtbl.replace h m ()) ct.members;
+          let members = concept_rows t name in
+          let h = Hashtbl.create (max 16 (Array.length members)) in
+          Array.iter (fun m -> Hashtbl.replace h m ()) members;
           h)
     in
     Hashtbl.mem idx ind
@@ -173,6 +286,37 @@ let concept_mem t name ind =
 let total_facts t = t.total_facts
 
 let individual_count t = Dllite.Dict.size t.dict
+
+(* {1 Segment access (zone-map pruned scans)} *)
+
+let concept_col t name =
+  Option.map (fun ct -> ct.col) (Hashtbl.find_opt t.concepts name)
+
+let role_colstores t name =
+  Option.map (fun rt -> rt.scol, rt.ocol) (Hashtbl.find_opt t.roles name)
+
+let role_eq_zone_rows t name side code =
+  match Hashtbl.find_opt t.roles name with
+  | None -> None
+  | Some rt ->
+    let col = match side with `Subject -> rt.scol | `Object -> rt.ocol in
+    Some (Colstore.eq_rows_est col code)
+
+(* {1 Footprint} *)
+
+let column_bytes t =
+  let acc = ref 0 in
+  Hashtbl.iter (fun _ ct -> acc := !acc + Colstore.bytes ct.col) t.concepts;
+  Hashtbl.iter
+    (fun _ rt -> acc := !acc + Colstore.bytes rt.scol + Colstore.bytes rt.ocol)
+    t.roles;
+  !acc
+
+let flat_bytes t =
+  let cells = ref 0 in
+  Hashtbl.iter (fun _ ct -> cells := !cells + Colstore.length ct.col) t.concepts;
+  Hashtbl.iter (fun _ rt -> cells := !cells + (2 * Colstore.length rt.scol)) t.roles;
+  8 * !cells
 
 (* {1 Incremental maintenance} *)
 
@@ -182,13 +326,16 @@ let insert_concept t ~concept ~ind =
     match Hashtbl.find_opt t.concepts concept with
     | Some ct -> ct
     | None ->
-      let ct = { members = [||]; member_set = Atomic.make None } in
+      let ct = fresh_concept_table ~segment_rows:t.segment_rows [||] in
       Hashtbl.add t.concepts concept ct;
       ct
   in
-  if Array.exists (fun m -> m = code) ct.members then false
+  let members = force_index ct.members_c (fun () -> Colstore.to_array ct.col) in
+  if Array.exists (fun m -> m = code) members then false
   else begin
-    ct.members <- dedup_int_array (Array.append ct.members [| code |]);
+    let members = sort_dedup_ints (Array.append members [| code |]) in
+    ct.col <- Colstore.of_array ~segment_rows:t.segment_rows ~sorted:true members;
+    Atomic.set ct.members_c (Some members);
     (match Atomic.get ct.member_set with
     | Some h -> Hashtbl.replace h code ()
     | None -> ());
@@ -203,18 +350,26 @@ let insert_role t ~role ~subj ~obj =
     match Hashtbl.find_opt t.roles role with
     | Some rt -> rt
     | None ->
-      let rt = fresh_role_table [||] { card = 0; ndv = [| 0; 0 |] } in
+      let rt = fresh_role_table ~segment_rows:t.segment_rows [||] [||] in
       Hashtbl.add t.roles role rt;
       rt
   in
-  if Array.exists (fun p -> p = (s, o)) rt.pairs then false
+  let pairs = role_rows t role in
+  if Array.exists (fun p -> p = (s, o)) pairs then false
   else begin
-    rt.pairs <- Array.append rt.pairs [| (s, o) |];
+    let n = Array.length pairs in
+    let subs = Array.init (n + 1) (fun i -> if i < n then fst pairs.(i) else s) in
+    let objs = Array.init (n + 1) (fun i -> if i < n then snd pairs.(i) else o) in
+    let subs, objs = sort_dedup_pairs subs objs in
+    rt.scol <- Colstore.of_array ~segment_rows:t.segment_rows ~sorted:true subs;
+    rt.ocol <- Colstore.of_array ~segment_rows:t.segment_rows objs;
     rt.r_stats <-
       {
-        card = Array.length rt.pairs;
-        ndv = [| count_distinct fst rt.pairs; count_distinct snd rt.pairs |];
+        card = Array.length subs;
+        ndv = [| sorted_distinct subs; count_distinct_arr objs |];
       };
+    Atomic.set rt.columns (Some (subs, objs));
+    Atomic.set rt.pairs_c None;
     let extend cell key =
       match Atomic.get cell with
       | Some h ->
@@ -224,11 +379,9 @@ let insert_role t ~role ~subj ~obj =
     in
     extend rt.by_subject s;
     extend rt.by_object o;
-    (* histograms and columnar projections are derived snapshots;
-       rebuild lazily after updates *)
+    (* histograms are derived snapshots; rebuild lazily after updates *)
     Atomic.set rt.hist_subject None;
     Atomic.set rt.hist_object None;
-    Atomic.set rt.columns None;
     t.total_facts <- t.total_facts + 1;
     true
   end
@@ -237,9 +390,356 @@ let role_histogram t name side =
   match Hashtbl.find_opt t.roles name with
   | None -> None
   | Some rt ->
-    let cell, col =
+    let cell, pick =
       match side with
       | `Subject -> rt.hist_subject, fst
       | `Object -> rt.hist_object, snd
     in
-    Some (force_index cell (fun () -> Histogram.build (Array.map col rt.pairs)))
+    Some (force_index cell (fun () -> Histogram.build (pick (role_cols t name))))
+
+(* {1 Streaming builder}
+
+   The multi-million-fact ingest path: assertions stream into growable
+   unboxed buffers (one per table, no per-fact tuples or lists), then
+   [finish] sorts, deduplicates and encodes each column once. *)
+
+type storage = t
+
+module Builder = struct
+  type b = {
+    b_dict : Dllite.Dict.t;
+    b_concepts : (string, Ibuf.t) Hashtbl.t;
+    b_roles : (string, Ibuf.t * Ibuf.t) Hashtbl.t;
+    mutable b_assertions : int;
+  }
+
+  let create () =
+    {
+      b_dict = Dllite.Dict.create ();
+      b_concepts = Hashtbl.create 64;
+      b_roles = Hashtbl.create 64;
+      b_assertions = 0;
+    }
+
+  let add_concept b ~concept ~ind =
+    let buf =
+      match Hashtbl.find_opt b.b_concepts concept with
+      | Some buf -> buf
+      | None ->
+        let buf = Ibuf.create () in
+        Hashtbl.add b.b_concepts concept buf;
+        buf
+    in
+    Ibuf.push buf (Dllite.Dict.encode b.b_dict ind);
+    b.b_assertions <- b.b_assertions + 1
+
+  let add_role b ~role ~subj ~obj =
+    let sb, ob =
+      match Hashtbl.find_opt b.b_roles role with
+      | Some bufs -> bufs
+      | None ->
+        let bufs = Ibuf.create (), Ibuf.create () in
+        Hashtbl.add b.b_roles role bufs;
+        bufs
+    in
+    Ibuf.push sb (Dllite.Dict.encode b.b_dict subj);
+    Ibuf.push ob (Dllite.Dict.encode b.b_dict obj);
+    b.b_assertions <- b.b_assertions + 1
+
+  let assertion_count b = b.b_assertions
+
+  let finish ?(segment_rows = Colstore.default_segment_rows) b : storage =
+    timed_load (fun () ->
+        let concepts = Hashtbl.create 64 and roles = Hashtbl.create 64 in
+        let total = ref 0 in
+        Hashtbl.iter
+          (fun name buf ->
+            let members = sort_dedup_ints (Ibuf.to_array buf) in
+            total := !total + Array.length members;
+            Hashtbl.replace concepts name (fresh_concept_table ~segment_rows members))
+          b.b_concepts;
+        Hashtbl.iter
+          (fun name (sb, ob) ->
+            let subs, objs = sort_dedup_pairs (Ibuf.to_array sb) (Ibuf.to_array ob) in
+            total := !total + Array.length subs;
+            Hashtbl.replace roles name (fresh_role_table ~segment_rows subs objs))
+          b.b_roles;
+        {
+          dict = b.b_dict;
+          concepts;
+          roles;
+          total_facts = !total;
+          segment_rows;
+        })
+end
+
+(* {1 Binary persistence}
+
+   Versioned little-endian format. A small parsed part — header,
+   dictionary, per-table directory with zone maps — is followed by a
+   page-aligned payload of raw segment words. [load] parses the small
+   part, maps the payload once with [Unix.map_file], and hands every
+   segment a zero-copy sub-slice of the mapping: opening a store is
+   O(dictionary + segments), never O(rows), and two handles on one
+   file share the physical pages. Every read is bounds-checked and
+   every structural invariant revalidated, so a corrupt or truncated
+   file yields [Error _], not a crash. *)
+
+let magic = "OBDACOL1"
+
+let format_version = 1
+
+let page_size = 4096
+
+exception Corrupt of string
+
+module Writer = struct
+  let int64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+  let str buf s =
+    int64 buf (String.length s);
+    Buffer.add_string buf s
+end
+
+(* The directory entry of one column assigns its segments consecutive
+   word offsets in the payload; [cursor] threads the running total. *)
+let dir_column buf cursor col =
+  Writer.int64 buf (Colstore.length col);
+  Writer.int64 buf (Colstore.seg_count col);
+  for i = 0 to Colstore.seg_count col - 1 do
+    let s = Colstore.seg col i in
+    Writer.int64 buf !cursor;
+    Writer.int64 buf s.Segment.base;
+    Writer.int64 buf s.Segment.bits;
+    Writer.int64 buf s.Segment.len;
+    Writer.int64 buf s.Segment.zmax;
+    Writer.int64 buf s.Segment.ndv;
+    cursor := !cursor + Segment.word_count s
+  done
+
+let write_column_words oc col =
+  for i = 0 to Colstore.seg_count col - 1 do
+    let s = Colstore.seg col i in
+    let nw = Segment.word_count s in
+    if nw > 0 then begin
+      let bytes = Bytes.create (8 * nw) in
+      for w = 0 to nw - 1 do
+        Bytes.set_int64_le bytes (8 * w) (Bigarray.Array1.get s.Segment.words w)
+      done;
+      output_bytes oc bytes
+    end
+  done
+
+let save t file =
+  let cnames = concept_names t and rnames = role_names t in
+  let dir = Buffer.create (1 lsl 16) in
+  let n = Dllite.Dict.size t.dict in
+  for c = 0 to n - 1 do
+    Writer.str dir (Dllite.Dict.decode t.dict c)
+  done;
+  let cursor = ref 0 in
+  List.iter
+    (fun name ->
+      let ct = Hashtbl.find t.concepts name in
+      Writer.str dir name;
+      dir_column dir cursor ct.col)
+    cnames;
+  List.iter
+    (fun name ->
+      let rt = Hashtbl.find t.roles name in
+      Writer.str dir name;
+      Writer.int64 dir rt.r_stats.ndv.(0);
+      Writer.int64 dir rt.r_stats.ndv.(1);
+      dir_column dir cursor rt.scol;
+      dir_column dir cursor rt.ocol)
+    rnames;
+  let header_bytes = String.length magic + (8 * 8) in
+  let payload_off =
+    (header_bytes + Buffer.length dir + page_size - 1) / page_size * page_size
+  in
+  let header = Buffer.create header_bytes in
+  Buffer.add_string header magic;
+  Writer.int64 header format_version;
+  Writer.int64 header payload_off;
+  Writer.int64 header !cursor;
+  Writer.int64 header n;
+  Writer.int64 header (List.length cnames);
+  Writer.int64 header (List.length rnames);
+  Writer.int64 header t.total_facts;
+  Writer.int64 header t.segment_rows;
+  let oc = open_out_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Buffer.output_buffer oc header;
+      Buffer.output_buffer oc dir;
+      output_string oc
+        (String.make (payload_off - header_bytes - Buffer.length dir) '\000');
+      List.iter
+        (fun name -> write_column_words oc (Hashtbl.find t.concepts name).col)
+        cnames;
+      List.iter
+        (fun name ->
+          let rt = Hashtbl.find t.roles name in
+          write_column_words oc rt.scol;
+          write_column_words oc rt.ocol)
+        rnames)
+
+module Reader = struct
+  type r = {
+    ic : in_channel;
+    mutable pos : int;
+    limit : int;
+    scratch : Bytes.t;
+  }
+
+  let make ic ~limit = { ic; pos = 0; limit; scratch = Bytes.create 8 }
+
+  let int64 r =
+    if r.pos + 8 > r.limit then raise (Corrupt "truncated file");
+    really_input r.ic r.scratch 0 8;
+    r.pos <- r.pos + 8;
+    let v = Int64.to_int (Bytes.get_int64_le r.scratch 0) in
+    if v < 0 then raise (Corrupt "negative field") else v
+
+  let str r =
+    let len = int64 r in
+    if len > r.limit - r.pos then raise (Corrupt "truncated string");
+    let b = Bytes.create len in
+    really_input r.ic b 0 len;
+    r.pos <- r.pos + len;
+    Bytes.unsafe_to_string b
+end
+
+let read_column r ~payload ~payload_words ~segment_rows ~max_code =
+  let len = Reader.int64 r in
+  let nsegs = Reader.int64 r in
+  if nsegs > 1 + (len / max 1 segment_rows) then raise (Corrupt "segment count");
+  let segs =
+    Array.init nsegs (fun _ ->
+        let word_off = Reader.int64 r in
+        let base = Reader.int64 r in
+        let bits = Reader.int64 r in
+        let slen = Reader.int64 r in
+        let zmax = Reader.int64 r in
+        let ndv = Reader.int64 r in
+        if zmax > max_code then raise (Corrupt "code out of dictionary range");
+        let nw = ((slen * bits) + 63) / 64 in
+        if word_off + nw > payload_words then raise (Corrupt "segment past payload");
+        let words =
+          if nw = 0 then
+            Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout 0
+          else Bigarray.Array1.sub payload word_off nw
+        in
+        match Segment.of_words ~base ~bits ~len:slen ~zmax ~ndv words with
+        | Ok s -> s
+        | Error e -> raise (Corrupt e))
+  in
+  match Colstore.of_segments ~segment_rows ~len segs with
+  | Ok col -> col
+  | Error e -> raise (Corrupt e)
+
+let load file =
+  timed_load (fun () ->
+      match open_in_bin file with
+      | exception Sys_error e -> Error e
+      | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            try
+              let file_len = in_channel_length ic in
+              let m = Bytes.create (String.length magic) in
+              (try really_input ic m 0 (String.length magic)
+               with End_of_file -> raise (Corrupt "truncated header"));
+              if Bytes.to_string m <> magic then raise (Corrupt "bad magic");
+              let r = Reader.make ic ~limit:file_len in
+              r.Reader.pos <- String.length magic;
+              let version = Reader.int64 r in
+              if version <> format_version then
+                raise (Corrupt (Printf.sprintf "unsupported version %d" version));
+              let payload_off = Reader.int64 r in
+              let payload_words = Reader.int64 r in
+              let dict_count = Reader.int64 r in
+              let n_concepts = Reader.int64 r in
+              let n_roles = Reader.int64 r in
+              let total = Reader.int64 r in
+              let segment_rows = Reader.int64 r in
+              if segment_rows <= 0 then raise (Corrupt "invalid segment size");
+              if payload_off + (8 * payload_words) > file_len then
+                raise (Corrupt "payload past end of file");
+              let dict = Dllite.Dict.create () in
+              for c = 0 to dict_count - 1 do
+                let s = Reader.str r in
+                if Dllite.Dict.encode dict s <> c then
+                  raise (Corrupt "duplicate dictionary entry")
+              done;
+              let payload =
+                if payload_words = 0 then
+                  Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout 0
+                else begin
+                  let fd = Unix.openfile file [ Unix.O_RDONLY ] 0 in
+                  Fun.protect
+                    ~finally:(fun () -> Unix.close fd)
+                    (fun () ->
+                      Bigarray.array1_of_genarray
+                        (Unix.map_file fd ~pos:(Int64.of_int payload_off)
+                           Bigarray.int64 Bigarray.c_layout false
+                           [| payload_words |]))
+                end
+              in
+              let max_code = dict_count - 1 in
+              let concepts = Hashtbl.create 64 and roles = Hashtbl.create 64 in
+              let check = ref 0 in
+              for _ = 1 to n_concepts do
+                let name = Reader.str r in
+                let col =
+                  read_column r ~payload ~payload_words ~segment_rows ~max_code
+                in
+                check := !check + Colstore.length col;
+                Hashtbl.replace concepts name
+                  {
+                    col;
+                    members_c = Atomic.make None;
+                    member_set = Atomic.make None;
+                  }
+              done;
+              for _ = 1 to n_roles do
+                let name = Reader.str r in
+                let ndv_s = Reader.int64 r in
+                let ndv_o = Reader.int64 r in
+                let scol =
+                  read_column r ~payload ~payload_words ~segment_rows ~max_code
+                in
+                let ocol =
+                  read_column r ~payload ~payload_words ~segment_rows ~max_code
+                in
+                let card = Colstore.length scol in
+                if Colstore.length ocol <> card then
+                  raise (Corrupt "role column lengths differ");
+                if ndv_s > card || ndv_o > card then
+                  raise (Corrupt "distinct count exceeds cardinality");
+                check := !check + card;
+                Hashtbl.replace roles name
+                  {
+                    scol;
+                    ocol;
+                    r_stats = { card; ndv = [| ndv_s; ndv_o |] };
+                    pairs_c = Atomic.make None;
+                    by_subject = Atomic.make None;
+                    by_object = Atomic.make None;
+                    hist_subject = Atomic.make None;
+                    hist_object = Atomic.make None;
+                    columns = Atomic.make None;
+                  }
+              done;
+              if !check <> total then raise (Corrupt "fact count mismatch");
+              Ok { dict; concepts; roles; total_facts = total; segment_rows }
+            with
+            | Corrupt msg -> Error (Printf.sprintf "%s: corrupt store (%s)" file msg)
+            | End_of_file -> Error (Printf.sprintf "%s: corrupt store (truncated)" file)
+            | Sys_error e -> Error e
+            | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)))
+
+let load_exn file =
+  match load file with Ok t -> t | Error msg -> failwith msg

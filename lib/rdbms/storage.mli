@@ -1,6 +1,13 @@
 (** The {e simple layout} of §6.1: one unary table per concept, one
     binary table per role, dictionary-encoded, deduplicated, with
-    per-table statistics and hash indexes on each attribute. *)
+    per-table statistics and hash indexes on each attribute.
+
+    Since PR 6 the ground truth of every table is a compressed
+    segmented column ({!Colstore}): frame-of-reference + bit-packed
+    runs with per-segment zone maps. Flat arrays, hash indexes and
+    histograms are decoded views, built lazily per table snapshot.
+    A store can be persisted to a versioned binary file and reopened
+    by mmap in O(segments) — see {!save} and {!load}. *)
 
 type table_stats = {
   card : int;  (** number of (distinct) rows *)
@@ -9,8 +16,10 @@ type table_stats = {
 
 type t
 
-val of_abox : Dllite.Abox.t -> t
-(** Load an ABox: dictionary-encode, deduplicate, gather stats. *)
+val of_abox : ?segment_rows:int -> Dllite.Abox.t -> t
+(** Load an ABox: dictionary-encode, sort, deduplicate (one in-place
+    pass per column), gather stats, and compress into segments of
+    [segment_rows] rows (default {!Colstore.default_segment_rows}). *)
 
 val dict : t -> Dllite.Dict.t
 (** The dictionary mapping individual names to integer codes. *)
@@ -22,15 +31,16 @@ val role_names : t -> string list
 (** Roles with at least one stored pair. *)
 
 val concept_rows : t -> string -> int array
-(** Sorted, duplicate-free members of the concept ([||] if absent). *)
+(** Sorted, duplicate-free members of the concept ([||] if absent).
+    Decoded lazily from the segments; callers must not mutate. *)
 
 val role_rows : t -> string -> (int * int) array
-(** Duplicate-free pairs of the role. *)
+(** Duplicate-free pairs of the role, sorted by (subject, object). *)
 
 val role_cols : t -> string -> int array * int array
-(** The role's (subjects, objects) as two column arrays — the
-    columnar projection of {!role_rows}, built lazily once per table
-    snapshot (safe to race from parallel plan arms, invalidated by
+(** The role's (subjects, objects) as two column arrays — the decoded
+    columnar projection of the stored segments, built lazily once per
+    table snapshot (safe to race from parallel plan arms, replaced by
     {!insert_role}). Scan operators alias the arrays; callers must not
     mutate them. *)
 
@@ -59,6 +69,31 @@ val total_facts : t -> int
 val individual_count : t -> int
 (** Number of distinct individuals in the dictionary. *)
 
+(** {2 Segment access}
+
+    Direct access to the compressed columns, for zone-map-pruned scan
+    operators and segment-aware cardinality estimation. *)
+
+val concept_col : t -> string -> Colstore.t option
+(** The concept's compressed (sorted) member column. *)
+
+val role_colstores : t -> string -> (Colstore.t * Colstore.t) option
+(** The role's compressed (subject, object) columns; segment-aligned,
+    so segment [i] of both covers the same row range. *)
+
+val role_eq_zone_rows : t -> string -> [ `Subject | `Object ] -> int -> int option
+(** Zone-map upper estimate of the rows whose [side] column equals a
+    code ({!Colstore.eq_rows_est}); [Some 0] means the code provably
+    does not occur, [None] an absent role. *)
+
+val column_bytes : t -> int
+(** Encoded footprint of all stored columns (segment payload words
+    plus per-segment metadata). *)
+
+val flat_bytes : t -> int
+(** What the same values would occupy as flat 8-byte-per-value arrays
+    — the PR 5 representation, kept as the compression baseline. *)
+
 (** {2 Incremental maintenance}
 
     Insertions keep tables deduplicated and update the lazy indexes and
@@ -75,3 +110,47 @@ val insert_role : t -> role:string -> subj:string -> obj:string -> bool
 val role_histogram : t -> string -> [ `Subject | `Object ] -> Histogram.t option
 (** The equi-depth histogram of a role column, built lazily and
     invalidated by insertions; [None] for an absent role. *)
+
+(** {2 Streaming builder}
+
+    Ingest facts one at a time without materializing an intermediate
+    {!Dllite.Abox.t}: assertions stream into growable unboxed buffers
+    and [finish] sorts, deduplicates and compresses each column once.
+    This is how the LUBM generator reaches tens of millions of facts
+    without holding the row-form ABox in memory. *)
+
+module Builder : sig
+  type b
+
+  val create : unit -> b
+
+  val add_concept : b -> concept:string -> ind:string -> unit
+
+  val add_role : b -> role:string -> subj:string -> obj:string -> unit
+
+  val assertion_count : b -> int
+  (** Assertions streamed in so far (duplicates included — the same
+      accounting as {!Dllite.Abox.size}). *)
+
+  val finish : ?segment_rows:int -> b -> t
+end
+
+(** {2 Binary persistence}
+
+    A versioned little-endian on-disk format ([OBDACOL1]): header,
+    dictionary and per-table directory with zone maps up front, then a
+    page-aligned payload of raw segment words. {!load} parses the
+    small front matter, maps the payload with [Unix.map_file], and
+    slices every segment out of the mapping zero-copy — opening a
+    store is O(dictionary + segments), not O(rows). *)
+
+val save : t -> string -> unit
+(** Writes the store to [file] (overwriting it). *)
+
+val load : string -> (t, string) result
+(** Opens a saved store. Any structural violation — bad magic, wrong
+    version, truncation, out-of-range codes or offsets — yields
+    [Error], never a crash. *)
+
+val load_exn : string -> t
+(** {!load}, raising [Failure] on error. *)

@@ -9,6 +9,7 @@ let () =
       "rdbms", Test_rdbms.suite;
       "batch", Test_batch.suite;
       "sip", Test_sip.suite;
+      "storage", Test_storage.suite;
       "optimizer", Test_optimizer.suite;
       "obda", Test_obda.suite;
       "lubm", Test_lubm.suite;

@@ -1,0 +1,270 @@
+(* Compressed segmented storage: segment encode/decode round-trips
+   (including empty, singleton, constant and max-width runs), zone-map
+   pruning never changing answers (qcheck differential against the
+   default-segmented engine), the binary store format (save → mmap
+   load equivalence, corrupt/truncated files failing cleanly), and the
+   streaming Builder matching the ABox load path fact for fact. *)
+
+open Query
+open Rdbms
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_arr = Alcotest.(check (array int))
+
+(* {1 Segment round-trips} *)
+
+let test_segment_edges () =
+  let empty = Segment.encode [||] ~off:0 ~len:0 in
+  check_int "empty len" 0 (Segment.length empty);
+  check_arr "empty decode" [||] (Segment.decode empty);
+  let single = Segment.encode [| 42 |] ~off:0 ~len:1 in
+  check_arr "singleton" [| 42 |] (Segment.decode single);
+  check_int "singleton get" 42 (Segment.get single 0);
+  (* a constant run packs to zero words *)
+  let const = Segment.encode [| 7; 7; 7; 7 |] ~off:0 ~len:4 in
+  check_int "constant words" 0 (Segment.word_count const);
+  check_arr "constant decode" [| 7; 7; 7; 7 |] (Segment.decode const);
+  (* the widest representable codes: 62-bit range *)
+  let wide = Segment.encode [| 0; max_int; 1; max_int - 1 |] ~off:0 ~len:4 in
+  check_arr "max-width decode" [| 0; max_int; 1; max_int - 1 |] (Segment.decode wide);
+  (* offsets slice mid-array *)
+  let mid = Segment.encode [| 9; 1; 2; 3; 9 |] ~off:1 ~len:3 in
+  check_arr "offset decode" [| 1; 2; 3 |] (Segment.decode mid);
+  check_arr "decode_slice window" [| 2; 3 |] (Segment.decode_slice mid ~off:1 ~len:2)
+
+let qcheck_segment_roundtrip =
+  QCheck2.Test.make ~name:"storage: segment encode/decode round-trip" ~count:300
+    QCheck2.Gen.(
+      pair
+        (list (oneof [ int_bound 10; int_bound 100_000; int_bound max_int ]))
+        (int_range 1 7))
+    (fun (values, segment_rows) ->
+      let a = Array.of_list values in
+      let col = Colstore.of_array ~segment_rows a in
+      Colstore.to_array col = a
+      && Colstore.length col = Array.length a
+      && Array.for_all
+           (fun i -> Colstore.get col i = a.(i))
+           (Array.init (Array.length a) Fun.id))
+
+(* {1 Zone maps} *)
+
+let test_zone_maps_and_estimate () =
+  let a = Array.init 100 Fun.id in
+  let col = Colstore.of_array ~segment_rows:10 ~sorted:true a in
+  check_int "segments" 10 (Colstore.seg_count col);
+  check_bool "zone of seg 3" true (Colstore.zone col 3 = (30, 39));
+  check_bool "min/max" true (Colstore.min_max col = Some (0, 99));
+  (* every value occurs once: the zone estimate of a present code is 1
+     (one segment contains it, len/ndv = 1), absent codes are 0 *)
+  check_int "present code" 1 (Colstore.eq_rows_est col 42);
+  check_int "absent code" 0 (Colstore.eq_rows_est col 1234)
+
+let test_zone_pruned_scan_skips () =
+  let a = Array.init 100 Fun.id in
+  let col = Colstore.of_array ~segment_rows:10 ~sorted:true a in
+  let reducer = Sip.of_array ~domain:128 [| 42; 47 |] in
+  let skip i =
+    let lo, hi = Colstore.zone col i in
+    not (Sip.overlaps_range reducer ~lo ~hi)
+  in
+  Colstore.reset_scan_counters ();
+  let op = Physical.segments_scan ~cols:[| "x" |] ~skip [| col |] in
+  let rel = Physical.to_relation op in
+  let scanned, skipped = Colstore.scan_counters () in
+  (* keys 42..47 live in segment 4 only: 9 of 10 segments never decode *)
+  check_int "segments scanned" 1 scanned;
+  check_int "segments skipped" 9 skipped;
+  check_arr "surviving rows" (Array.init 10 (fun i -> 40 + i))
+    rel.Relation.columns.(0)
+
+(* The pruned scan only applies a necessary condition; the engine
+   differential below checks it never loses an answer. *)
+let qcheck_zone_pruning_preserves_answers =
+  QCheck2.Test.make
+    ~name:"storage: tiny-segment engine = default engine (random sip plans)"
+    ~count:60
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let abox = Test_batch.random_abox st in
+      let plan = Test_batch.random_plan st (1 + Random.State.int st 4) in
+      let annotated = Cost.Sip_pass.annotate (Layout.simple_of_abox abox) plan in
+      let tiny = Layout.of_storage (Storage.of_abox ~segment_rows:2 abox) in
+      let dflt = Layout.simple_of_abox abox in
+      List.for_all
+        (fun plan ->
+          List.for_all
+            (fun (config, jobs) ->
+              Exec.answers ~config ~jobs tiny plan
+              = Exec.answers ~config ~jobs dflt plan)
+            [ Exec.postgres_like, 1; Exec.postgres_like, 2; Exec.db2_like, 1 ])
+        [ plan; annotated ])
+
+(* {1 Binary persistence} *)
+
+let with_temp_store f =
+  let file = Filename.temp_file "obda_store" ".col" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) (fun () -> f file)
+
+let same_storage a b =
+  check_int "total facts" (Storage.total_facts a) (Storage.total_facts b);
+  check_int "individuals" (Storage.individual_count a) (Storage.individual_count b);
+  Alcotest.(check (list string))
+    "concept names" (Storage.concept_names a) (Storage.concept_names b);
+  Alcotest.(check (list string))
+    "role names" (Storage.role_names a) (Storage.role_names b);
+  List.iter
+    (fun n ->
+      check_arr ("concept " ^ n) (Storage.concept_rows a n) (Storage.concept_rows b n))
+    (Storage.concept_names a);
+  List.iter
+    (fun n ->
+      check_bool ("role " ^ n) true (Storage.role_rows a n = Storage.role_rows b n);
+      let sa = Storage.role_stats a n and sb = Storage.role_stats b n in
+      check_bool ("stats " ^ n) true (sa = sb))
+    (Storage.role_names a)
+
+let test_save_load_roundtrip () =
+  let abox = Lubm.Generator.generate ~seed:7 ~target_facts:3_000 () in
+  (* small segments force a multi-segment file *)
+  let s = Storage.of_abox ~segment_rows:256 abox in
+  with_temp_store (fun file ->
+      Storage.save s file;
+      let loaded = Storage.load_exn file in
+      same_storage s loaded;
+      (* the reopened store answers queries identically *)
+      let q = (Lubm.Workload.find "Q2").Lubm.Workload.query in
+      let fol =
+        Query.Fol.leaf ~out:q.Cq.head
+          (Reform.Perfectref.reformulate Lubm.Ontology.tbox q)
+      in
+      let eval layout =
+        let plan = Planner.of_fol layout fol in
+        Exec.answers layout plan
+      in
+      check_bool "answers identical" true
+        (eval (Layout.of_storage s) = eval (Layout.of_storage loaded)))
+
+let test_load_after_insert () =
+  let abox = Dllite.Abox.create () in
+  Dllite.Abox.add_concept abox ~concept:"C" ~ind:"a";
+  Dllite.Abox.add_role abox ~role:"R" ~subj:"a" ~obj:"b";
+  let s = Storage.of_abox abox in
+  with_temp_store (fun file ->
+      Storage.save s file;
+      let loaded = Storage.load_exn file in
+      (* a loaded store absorbs inserts like a built one *)
+      check_bool "new concept fact" true
+        (Storage.insert_concept loaded ~concept:"C" ~ind:"z");
+      check_bool "duplicate rejected" false
+        (Storage.insert_concept loaded ~concept:"C" ~ind:"z");
+      check_bool "new role fact" true
+        (Storage.insert_role loaded ~role:"R" ~subj:"z" ~obj:"a");
+      check_int "facts advanced" (Storage.total_facts s + 2)
+        (Storage.total_facts loaded);
+      check_bool "membership index sees it" true (Storage.concept_mem loaded "C"
+        (Option.get (Dllite.Dict.find (Storage.dict loaded) "z"))))
+
+(* {1 Corrupt and truncated files fail cleanly} *)
+
+let write_file file bytes =
+  let oc = open_out_bin file in
+  output_bytes oc bytes;
+  close_out oc
+
+let read_file file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  b
+
+let expect_error name = function
+  | Ok _ -> Alcotest.failf "%s: corrupt store loaded successfully" name
+  | Error _ -> ()
+
+let test_corrupt_files () =
+  let abox = Lubm.Generator.generate ~seed:3 ~target_facts:500 () in
+  let s = Storage.of_abox ~segment_rows:64 abox in
+  with_temp_store (fun file ->
+      Storage.save s file;
+      let good = read_file file in
+      check_bool "sane file loads" true (Result.is_ok (Storage.load file));
+      (* bad magic *)
+      let b = Bytes.copy good in
+      Bytes.set b 0 'X';
+      write_file file b;
+      expect_error "magic" (Storage.load file);
+      (* unsupported version *)
+      let b = Bytes.copy good in
+      Bytes.set_int64_le b 8 99L;
+      write_file file b;
+      expect_error "version" (Storage.load file);
+      (* negative field in the header *)
+      let b = Bytes.copy good in
+      Bytes.set_int64_le b 16 (-1L);
+      write_file file b;
+      expect_error "negative offset" (Storage.load file);
+      (* truncations at every region boundary and a few odd spots *)
+      List.iter
+        (fun keep ->
+          if keep < Bytes.length good then begin
+            write_file file (Bytes.sub good 0 keep);
+            expect_error (Printf.sprintf "truncated at %d" keep) (Storage.load file)
+          end)
+        [ 0; 4; 8; 40; 71; 72; 200; Bytes.length good / 2; Bytes.length good - 8 ];
+      (* a declared fact count that disagrees with the directory *)
+      let b = Bytes.copy good in
+      Bytes.set_int64_le b 56 1L;
+      write_file file b;
+      expect_error "fact count" (Storage.load file);
+      (* restore so the cleanup path has a sane file *)
+      write_file file good)
+
+(* {1 Streaming builder = ABox load} *)
+
+let test_builder_matches_of_abox () =
+  let target = 2_000 and seed = 11 in
+  let abox = Lubm.Generator.generate ~seed ~target_facts:target () in
+  let b = Storage.Builder.create () in
+  let emitted =
+    Lubm.Generator.generate_into ~seed ~target_facts:target
+      ~add_concept:(fun ~concept ~ind -> Storage.Builder.add_concept b ~concept ~ind)
+      ~add_role:(fun ~role ~subj ~obj -> Storage.Builder.add_role b ~role ~subj ~obj)
+      ()
+  in
+  check_int "same assertion stream" (Dllite.Abox.size abox) emitted;
+  check_int "builder count agrees" emitted (Storage.Builder.assertion_count b);
+  same_storage (Storage.of_abox abox) (Storage.Builder.finish b)
+
+(* {1 Footprint} *)
+
+let test_compression_ratio () =
+  let abox = Lubm.Generator.generate ~seed:5 ~target_facts:20_000 () in
+  let s = Storage.of_abox abox in
+  let enc = Storage.column_bytes s and flat = Storage.flat_bytes s in
+  check_bool "compresses below half of flat arrays" true (2 * enc <= flat)
+
+let suite =
+  [
+    Alcotest.test_case "segment: edge runs round-trip" `Quick test_segment_edges;
+    QCheck_alcotest.to_alcotest qcheck_segment_roundtrip;
+    Alcotest.test_case "colstore: zone maps and eq estimate" `Quick
+      test_zone_maps_and_estimate;
+    Alcotest.test_case "scan: zone maps skip segments" `Quick
+      test_zone_pruned_scan_skips;
+    QCheck_alcotest.to_alcotest qcheck_zone_pruning_preserves_answers;
+    Alcotest.test_case "store: save/load round-trip" `Quick test_save_load_roundtrip;
+    Alcotest.test_case "store: loaded store absorbs inserts" `Quick
+      test_load_after_insert;
+    Alcotest.test_case "store: corrupt files fail cleanly" `Quick test_corrupt_files;
+    Alcotest.test_case "builder: streaming = abox load" `Quick
+      test_builder_matches_of_abox;
+    Alcotest.test_case "store: bytes/fact under half of flat" `Quick
+      test_compression_ratio;
+  ]
