@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test doc bench-smoke bench-replay bench-engine bench-sip bench-storage bench ci clean
+.PHONY: all build test doc bench-smoke bench-replay bench-engine bench-sip bench-storage bench-server bench ci clean
 
 all: build
 
@@ -57,11 +57,23 @@ bench-storage: build
 	$(DUNE) exec bench/main.exe -- --exp storage --small 5000 --large 20000 \
 	  --json BENCH_PR6.json
 
+# The E18 server experiment: an in-process obda_server driven over
+# TCP by the load generator — closed-loop capacity calibration, open
+# loop at 0.5x/0.9x/2.0x of measured capacity, a structural-overload
+# pass, and a writer-interleaved pass, recorded to BENCH_PR7.json.
+# Fails if any pass completes zero requests or sees a protocol error,
+# if the warm plan-hit rate drops below 0.90 on a writer-free pass,
+# if the overload pass never sheds, or if the writer fails to advance
+# the KB generation.
+bench-server: build
+	$(DUNE) exec bench/main.exe -- --exp server --small 5000 \
+	  --json BENCH_PR7.json
+
 # The full benchmark suite at the default (sequential) job count.
 bench: build
 	$(DUNE) exec bench/main.exe
 
-ci: test doc bench-smoke bench-replay bench-engine bench-sip bench-storage
+ci: test doc bench-smoke bench-replay bench-engine bench-sip bench-storage bench-server
 
 clean:
 	$(DUNE) clean

@@ -15,6 +15,7 @@
      E15 engine      —         — materialised-row vs columnar-batch execution
      E16 sip         —         — sideways information passing on/off
      E17 storage     —         — compressed segments, zone maps, mmap persistence
+     E18 server      —         — concurrent server: sustained QPS, admission control
 
    Usage: main.exe [--exp ID]… [--small N] [--large N] [--seed S]
                    [--jobs N] [--json FILE] [--metrics FILE] [--bechamel]
@@ -1131,6 +1132,127 @@ let bechamel_suite () =
         results)
     groups
 
+(* {1 E18: sustained QPS against the concurrent server} *)
+
+(* Drives an in-process {!Server.Core} instance over real TCP sockets
+   with {!Server.Loadgen}: one closed-loop pass calibrates capacity on
+   this machine, then open-loop passes at 0.5x / 0.9x / 2.0x of that
+   capacity measure the latency distribution under controlled offered
+   load, and a final 0.5x pass runs with a concurrent writer bumping
+   the KB generation under the readers.  The run aborts (failwith)
+   when a pass completes zero requests, sees a protocol error, misses
+   the 90% warm-plan-hit floor on a writer-free pass, fails to shed at
+   2.0x capacity, or the writer pass does not advance the generation. *)
+let exp_server () =
+  Fmt.pr "@.== E18: concurrent server — sustained QPS and admission control ==@.";
+  Fmt.pr "   (Zipf replay over TCP; closed-loop calibration, then open loop@.";
+  Fmt.pr "    at fractions of measured capacity; queue depth 8, 2 workers)@.@.";
+  let engine = engine_for `Pglite `Simple !small_facts in
+  Obda.clear_plan_cache ();
+  Reform.Perfectref.clear_cache ();
+  (* prime the plan cache: a cold GDL search costs hundreds of ms per
+     query, so letting the cold compiles land inside a short measured
+     window makes the capacity estimate meaningless.  E18 measures
+     sustained serving of a warmed server; cold-compile cost is E14's
+     subject. *)
+  List.iter
+    (fun e ->
+      ignore (Obda.answer engine tbox (Obda.Gdl Obda.Ext_cost) e.Lubm.Workload.query))
+    Lubm.Workload.queries;
+  let server_cfg =
+    { Server.Core.default_config with
+      port = 0;
+      workers = 2;
+      queue_depth = 8;
+      max_answer_rows = 1000 }
+  in
+  let t = Server.Core.start ~config:server_cfg ~engine ~tbox () in
+  Fun.protect ~finally:(fun () -> Server.Core.stop t) @@ fun () ->
+  let base =
+    { Server.Loadgen.default_config with
+      port = Server.Core.port t;
+      sessions = 16;
+      duration_s = 1.2;
+      warmup_s = 0.3;
+      seed = !seed;
+      strategy = Some "gdl-ext";
+      answer_limit = 0 }
+  in
+  let point ~name cfg =
+    let r = Server.Loadgen.run cfg in
+    if r.Server.Loadgen.requests = 0 then
+      failwith (Printf.sprintf "E18 %s: zero requests completed" name);
+    if r.Server.Loadgen.r_errors > 0 then
+      failwith (Printf.sprintf "E18 %s: %d protocol errors" name r.Server.Loadgen.r_errors);
+    record_json
+      [ "exp", "\"server\"";
+        "point", Printf.sprintf "%S" name;
+        "mode", Printf.sprintf "%S" r.Server.Loadgen.r_mode;
+        "sessions", string_of_int r.Server.Loadgen.r_sessions;
+        "offered_qps", Printf.sprintf "%.1f" r.Server.Loadgen.offered_qps;
+        "achieved_qps", Printf.sprintf "%.1f" r.Server.Loadgen.achieved_qps;
+        "requests", string_of_int r.Server.Loadgen.requests;
+        "ok", string_of_int r.Server.Loadgen.r_ok;
+        "shed", string_of_int r.Server.Loadgen.r_shed;
+        "timeouts", string_of_int r.Server.Loadgen.r_timeouts;
+        "p50_ms", Printf.sprintf "%.3f" r.Server.Loadgen.p50_ms;
+        "p95_ms", Printf.sprintf "%.3f" r.Server.Loadgen.p95_ms;
+        "p99_ms", Printf.sprintf "%.3f" r.Server.Loadgen.p99_ms;
+        "hit_rate", Printf.sprintf "%.3f" r.Server.Loadgen.hit_rate;
+        "writer_updates", string_of_int r.Server.Loadgen.writer_updates;
+        "generation_end", string_of_int r.Server.Loadgen.generation_end ];
+    Fmt.pr "%-10s %9.0f %9.0f %7d %6d %8.2f %8.2f %8.2f %8.3f@." name
+      r.Server.Loadgen.offered_qps r.Server.Loadgen.achieved_qps
+      r.Server.Loadgen.r_ok r.Server.Loadgen.r_shed r.Server.Loadgen.p50_ms
+      r.Server.Loadgen.p95_ms r.Server.Loadgen.p99_ms r.Server.Loadgen.hit_rate;
+    r
+  in
+  Fmt.pr "%-10s %9s %9s %7s %6s %8s %8s %8s %8s@." "point" "offered"
+    "achieved" "ok" "shed" "p50(ms)" "p95(ms)" "p99(ms)" "hitrate";
+  (* calibrate with fewer sessions than queue slots so the closed pass
+     itself never sheds: a shed reply costs server time, so a thrashing
+     calibration would underestimate capacity *)
+  let closed =
+    point ~name:"closed" { base with sessions = 6; mode = Server.Loadgen.Closed }
+  in
+  let capacity = closed.Server.Loadgen.achieved_qps in
+  let open_point ~name ?writer frac =
+    point ~name
+      { base with
+        mode = Server.Loadgen.Open_loop (frac *. capacity);
+        writer_period_s = writer }
+  in
+  let half = open_point ~name:"0.5x" 0.5 in
+  let near = open_point ~name:"0.9x" 0.9 in
+  let double = open_point ~name:"2.0x" 2.0 in
+  (* overload by construction: a closed pass with more sessions than
+     queue slots keeps [sessions] requests permanently outstanding, so
+     admission control must shed regardless of where true capacity
+     lies on this machine *)
+  let over =
+    point ~name:"overload"
+      { base with sessions = 32; mode = Server.Loadgen.Closed }
+  in
+  let gen_before_writer = Obda.generation engine in
+  let writer = open_point ~name:"0.5x+wr" ~writer:0.2 0.5 in
+  List.iter
+    (fun (name, (r : Server.Loadgen.report)) ->
+      if r.Server.Loadgen.hit_rate < 0.90 then
+        failwith
+          (Printf.sprintf "E18 %s: plan hit rate %.3f below the 0.90 floor" name
+             r.Server.Loadgen.hit_rate))
+    [ "0.5x", half; "0.9x", near; "2.0x", double ];
+  if over.Server.Loadgen.r_shed = 0 then
+    failwith "E18 overload: no OVERLOADED sheds past capacity";
+  if writer.Server.Loadgen.writer_updates = 0 then
+    failwith "E18 writer: no UPDATE acknowledged";
+  if writer.Server.Loadgen.generation_end <= gen_before_writer then
+    failwith "E18 writer: KB generation did not advance";
+  Fmt.pr "@.capacity %.0f QPS (closed loop, 6 sessions); overload sheds %d; \
+          writer advanced generation %d -> %d@."
+    capacity over.Server.Loadgen.r_shed gen_before_writer
+    writer.Server.Loadgen.generation_end
+
 (* {1 Driver} *)
 
 let experiments =
@@ -1152,6 +1274,7 @@ let experiments =
     "engine", exp_engine;
     "sip", exp_sip;
     "storage", exp_storage;
+    "server", exp_server;
   ]
 
 let () =
@@ -1164,7 +1287,7 @@ let () =
       "--exp", Arg.String (fun s -> selected := s :: !selected),
         " run one experiment (table6, edl-vs-gdl, fig2-small, fig2-large, \
          fig3-small, fig3-large, gdl-time, anatomy, ablation-gq, uscq, views, \
-         saturation, calibration, replay, engine, sip, storage)";
+         saturation, calibration, replay, engine, sip, storage, server)";
       "--small", Arg.Set_int small_facts, " facts in the small dataset (default 30000)";
       "--large", Arg.Set_int large_facts, " facts in the large dataset (default 120000)";
       "--seed", Arg.Set_int seed, " generator seed (default 42)";

@@ -262,18 +262,36 @@ let write_metrics = function
     output_char oc '\n';
     close_out oc
 
+let warm_arg =
+  Arg.(value & flag
+       & info [ "warm" ]
+           ~doc:"With $(b,--store): pre-touch every segment — decode the column \
+                 arrays and build the hash indexes — before answering, so the \
+                 reported times measure the query, not first-touch decoding. A \
+                 reopened store is otherwise cold: mmap defers all decoding to \
+                 the first scan that needs each table.")
+
 let answer_cmd =
   let run facts seed data rdf store tbox_file inline qname engine_kind layout strategy
-      limit jobs metrics plan_cap reform_cap cache_stats =
+      limit jobs metrics plan_cap reform_cap cache_stats warm =
     apply_jobs jobs;
     apply_caches plan_cap reform_cap;
     let tbox, engine =
       match store with
       | Some file ->
+        let storage = load_storage file in
+        if warm then begin
+          let t0 = Unix.gettimeofday () in
+          let tables = Rdbms.Storage.warm storage in
+          Fmt.pr "warmed     : %d tables in %.1f ms@." tables
+            ((Unix.gettimeofday () -. t0) *. 1000.)
+        end;
         ( tbox_of tbox_file,
-          Obda.make_engine_of_layout engine_kind
-            (Rdbms.Layout.of_storage (load_storage file)) )
+          Obda.make_engine_of_layout engine_kind (Rdbms.Layout.of_storage storage) )
       | None ->
+        if warm then
+          Fmt.epr "obda-cli: --warm only affects --store runs (generated/loaded \
+                   ABoxes are already decoded)@.";
         let tbox, abox = load_kb rdf tbox_file data facts seed in
         tbox, Obda.make_engine engine_kind layout abox
     in
@@ -304,7 +322,7 @@ let answer_cmd =
     Term.(const run $ facts_arg $ seed_arg $ data_arg $ rdf_arg $ store_arg
           $ tbox_arg $ query_string_arg $ query_arg $ engine_arg $ layout_arg
           $ strategy_arg $ limit_arg $ jobs_arg $ metrics_arg $ plan_cache_arg
-          $ reform_cache_arg $ cache_stats_arg)
+          $ reform_cache_arg $ cache_stats_arg $ warm_arg)
 
 (* {1 explain} *)
 

@@ -82,6 +82,8 @@ let engine_name e =
 
 let layout e = e.layout
 
+let kind e = e.kind
+
 let profile e = e.profile
 
 type cost_source =

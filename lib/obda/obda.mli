@@ -30,6 +30,11 @@ val engine_name : engine -> string
 
 val layout : engine -> Rdbms.Layout.t
 
+val kind : engine -> engine_kind
+(** The engine profile the engine was built with — callers that
+    re-derive a calibrated cost model (the server's EXPLAIN path) need
+    it back. *)
+
 val profile : engine -> Rdbms.Explain.profile
 
 type cost_source =

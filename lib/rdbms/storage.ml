@@ -287,6 +287,26 @@ let total_facts t = t.total_facts
 
 let individual_count t = Dllite.Dict.size t.dict
 
+let warm t =
+  (* decode every column and build every lazy hash index up front; the
+     probe key -1 never matches (codes are non-negative) but forces
+     the index build all the same *)
+  let tables = ref 0 in
+  List.iter
+    (fun c ->
+      incr tables;
+      ignore (concept_rows t c);
+      ignore (concept_mem t c (-1)))
+    (concept_names t);
+  List.iter
+    (fun r ->
+      incr tables;
+      ignore (role_cols t r);
+      ignore (role_lookup_subject_arr t r (-1));
+      ignore (role_lookup_object_arr t r (-1)))
+    (role_names t);
+  !tables
+
 (* {1 Segment access (zone-map pruned scans)} *)
 
 let concept_col t name =

@@ -66,6 +66,16 @@ val concept_mem : t -> string -> int -> bool
 val total_facts : t -> int
 (** Total stored facts across all tables. *)
 
+val warm : t -> int
+(** Forces every lazily-decoded column array and lazily-built hash
+    index (concept member sets, role subject/object indexes) so that
+    no query pays first-touch decoding cost. A store reopened with
+    {!load} is {e cold}: segments are mmapped but nothing is decoded
+    until a scan or index probe needs it, which makes the first timed
+    query after open misleadingly slow. Returns the number of tables
+    warmed. Safe to call concurrently with readers (the indexes are
+    CAS-published). *)
+
 val individual_count : t -> int
 (** Number of distinct individuals in the dictionary. *)
 

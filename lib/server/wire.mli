@@ -1,0 +1,57 @@
+(** The wire format of the OBDA server: one JSON value per line.
+
+    A deliberately small JSON implementation — the protocol needs
+    objects, arrays, strings, numbers and booleans, nothing else — so
+    the server has no dependency beyond the stdlib. The printer emits
+    a single line (no literal newlines, control characters are
+    escaped), which is what makes the newline-delimited framing of the
+    protocol sound: one [to_string] result is always exactly one
+    frame. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+  | Raw of string
+      (** Pre-rendered JSON spliced verbatim into the output — used to
+          embed payloads that already exist as JSON text (EXPLAIN
+          trees, the metrics registry) without re-parsing them. Never
+          produced by {!of_string}; the caller guarantees
+          well-formedness. *)
+
+val to_string : t -> string
+(** Renders on one line. Strings are escaped per RFC 8259 (quote,
+    backslash, [n], [r], [t], [b], [f], and [uXXXX] for other control
+    characters); non-finite floats render as [null] (JSON has no
+    representation for them). *)
+
+val of_string : string -> (t, string) result
+(** Parses one JSON value (surrounding whitespace allowed; trailing
+    garbage is an error). Numbers without [.], [e] or [E] parse as
+    {!Int}, all others as {!Float}; [uXXXX] escapes decode to UTF-8
+    (surrogate pairs included). Errors carry a position. *)
+
+val member : string -> t -> t option
+(** [member k j] is the value of field [k] when [j] is an object that
+    has one, [None] otherwise (including on non-objects). *)
+
+val to_string_opt : t -> string option
+(** The payload of a {!String}, [None] on any other constructor. *)
+
+val to_int_opt : t -> int option
+(** The payload of an {!Int} (or of an integral {!Float}), [None]
+    otherwise. *)
+
+val to_float_opt : t -> float option
+(** The payload of an {!Int} or {!Float} as a float, [None]
+    otherwise. *)
+
+val to_bool_opt : t -> bool option
+(** The payload of a {!Bool}, [None] otherwise. *)
+
+val to_list_opt : t -> t list option
+(** The payload of a {!List}, [None] otherwise. *)

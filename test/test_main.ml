@@ -18,4 +18,5 @@ let () =
       "rdf", Test_rdf.suite;
       "parallel", Test_parallel.suite;
       "obs", Test_obs.suite;
+      "server", Test_server.suite;
     ]
