@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test doc bench-smoke bench-replay bench-engine bench-sip bench-storage bench-server bench ci clean
+.PHONY: all build test doc bench-smoke bench-replay bench-engine bench-sip bench-storage bench-server bench-updates bench ci clean
 
 all: build
 
@@ -69,11 +69,22 @@ bench-server: build
 	$(DUNE) exec bench/main.exe -- --exp server --small 5000 \
 	  --json BENCH_PR7.json
 
+# The E19 updates experiment: single-fact insert latency through the
+# delta-buffer path vs the pre-delta per-insert re-encode at 100k
+# facts, then a Zipf replay with interleaved hot/cold-predicate
+# writers under predicate-scoped invalidation, recorded to
+# BENCH_PR8.json. Fails if the insert speedup is below 10x, if the
+# warm plan-hit rate drops below 0.80 under writers, or if any answer
+# diverges from an engine built fresh from the final fact set.
+bench-updates: build
+	$(DUNE) exec bench/main.exe -- --exp updates --small 5000 --large 100000 \
+	  --json BENCH_PR8.json
+
 # The full benchmark suite at the default (sequential) job count.
 bench: build
 	$(DUNE) exec bench/main.exe
 
-ci: test doc bench-smoke bench-replay bench-engine bench-sip bench-storage bench-server
+ci: test doc bench-smoke bench-replay bench-engine bench-sip bench-storage bench-server bench-updates
 
 clean:
 	$(DUNE) clean

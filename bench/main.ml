@@ -16,6 +16,7 @@
      E16 sip         —         — sideways information passing on/off
      E17 storage     —         — compressed segments, zone maps, mmap persistence
      E18 server      —         — concurrent server: sustained QPS, admission control
+     E19 updates     —         — incremental updates: delta buffers, scoped invalidation
 
    Usage: main.exe [--exp ID]… [--small N] [--large N] [--seed S]
                    [--jobs N] [--json FILE] [--metrics FILE] [--bechamel]
@@ -1253,6 +1254,186 @@ let exp_server () =
     capacity over.Server.Loadgen.r_shed gen_before_writer
     writer.Server.Loadgen.generation_end
 
+(* {1 E19 — incremental updates: delta buffers + predicate-scoped invalidation} *)
+
+(* Two halves. (a) Single-fact insert latency at the large scale: the
+   delta-buffer path (hash-probe + tail push, periodic merge) against
+   the pre-delta behaviour of re-encoding the table on every insert —
+   emulated exactly by a compaction threshold of 1. This is the work
+   the server holds its exclusive write lock for, so the ratio is the
+   write-lock-hold improvement. (b) A Zipf replay over the workload
+   with writers interleaved between reads: updates on a hot predicate
+   (read by most fragments) and on a cold brand-new one alternate, and
+   predicate-scoped invalidation must keep the warm plan-cache hit
+   rate high while every answer stays identical to an engine built
+   fresh from the final fact set. *)
+let exp_updates () =
+  Fmt.pr "@.== E19: incremental updates — delta buffers, scoped invalidation ==@.";
+  Fmt.pr "   (per-fact insert latency: delta tail vs per-insert re-encode;@.";
+  Fmt.pr "    then Zipf replay with interleaved writers: warm plan hits,@.";
+  Fmt.pr "    read p95 and answers vs a cold fresh engine)@.@.";
+  (* -- (a) single-fact insert latency ------------------------------- *)
+  let build_storage facts =
+    let b = Rdbms.Storage.Builder.create () in
+    ignore
+      (Lubm.Generator.generate_into ~seed:!seed ~target_facts:facts
+         ~add_concept:(fun ~concept ~ind ->
+           Rdbms.Storage.Builder.add_concept b ~concept ~ind)
+         ~add_role:(fun ~role ~subj ~obj ->
+           Rdbms.Storage.Builder.add_role b ~role ~subj ~obj)
+         ());
+    Rdbms.Storage.Builder.finish b
+  in
+  let time_inserts storage ~tag n =
+    let lat = Array.make n 0. in
+    for i = 0 to n - 1 do
+      let subj = Printf.sprintf "upd-%s-%d" tag i in
+      let obj = Printf.sprintf "updc-%d" (i mod 50) in
+      let t0 = Unix.gettimeofday () in
+      if not (Rdbms.Storage.insert_role storage ~role:"takesCourse" ~subj ~obj)
+      then failwith "E19: fresh fact rejected as duplicate";
+      lat.(i) <- (Unix.gettimeofday () -. t0) *. 1000.
+    done;
+    lat
+  in
+  let mean a = Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a) in
+  let p95 a =
+    let s = Array.copy a in
+    Array.sort Float.compare s;
+    s.(int_of_float (0.95 *. float_of_int (Array.length s - 1)))
+  in
+  let facts = !large_facts in
+  let delta_store = build_storage facts in
+  (* a small threshold so the measured window includes several merges *)
+  Rdbms.Storage.set_delta_rows delta_store 128;
+  let delta_lat = time_inserts delta_store ~tag:"delta" 500 in
+  let rebuild_store = build_storage facts in
+  (* threshold 1 = compact on every insert = the pre-delta O(table)
+     per-fact re-encode this path replaced *)
+  Rdbms.Storage.set_delta_rows rebuild_store 1;
+  let rebuild_lat = time_inserts rebuild_store ~tag:"rebuild" 25 in
+  let speedup = mean rebuild_lat /. Float.max 1e-6 (mean delta_lat) in
+  Fmt.pr "insert at %d facts: delta %.4f ms/fact (p95 %.4f, %d inserts, merges \
+          included); re-encode %.3f ms/fact; %.0fx@."
+    facts (mean delta_lat) (p95 delta_lat) (Array.length delta_lat)
+    (mean rebuild_lat) speedup;
+  record_json
+    [ "exp", "\"updates\"";
+      "part", "\"insert_latency\"";
+      "facts", string_of_int facts;
+      "delta_inserts", string_of_int (Array.length delta_lat);
+      "delta_mean_ms", Printf.sprintf "%.5f" (mean delta_lat);
+      "delta_p95_ms", Printf.sprintf "%.5f" (p95 delta_lat);
+      "rebuild_inserts", string_of_int (Array.length rebuild_lat);
+      "rebuild_mean_ms", Printf.sprintf "%.5f" (mean rebuild_lat);
+      "speedup", Printf.sprintf "%.1f" speedup ];
+  if facts >= 100_000 && speedup < 10. then
+    failwith
+      (Printf.sprintf "E19: delta insert speedup %.1fx below the 10x floor"
+         speedup);
+  (* -- (b) Zipf replay with interleaved writers --------------------- *)
+  (* private engines: both are mutated or compared against, so the
+     shared engine/abox caches must not see them *)
+  let engine =
+    Obda.make_engine `Pglite `Simple
+      (Lubm.Generator.generate ~seed:!seed ~target_facts:!small_facts ())
+  in
+  let strategy = Obda.Croot in
+  Obda.clear_plan_cache ();
+  Reform.Perfectref.clear_cache ();
+  Obda.enable_fragment_views engine;
+  let entries = Array.of_list Lubm.Workload.queries in
+  let n = Array.length entries in
+  let weights = Array.init n (fun i -> 1. /. float_of_int (i + 1)) in
+  let total_weight = Array.fold_left ( +. ) 0. weights in
+  let rng = Random.State.make [| 0xE19; !seed |] in
+  let pick () =
+    let r = Random.State.float rng total_weight in
+    let rec go i acc =
+      let acc = acc +. weights.(i) in
+      if r < acc || i = n - 1 then i else go (i + 1) acc
+    in
+    go 0 0.
+  in
+  let requests = Array.init 150 (fun _ -> pick ()) in
+  let writer_facts = ref [] in
+  let insert_nth k =
+    (* alternate a hot predicate (read by most fragments) with a cold
+       brand-new one (read by none): the scoped invalidation keeps the
+       cold writes free and localises the hot ones *)
+    let role, subj, obj =
+      if k mod 2 = 0 then
+        "takesCourse", Printf.sprintf "wr-%d" k, Printf.sprintf "updc-%d" (k mod 7)
+      else "benchAuxRole", Printf.sprintf "wra-%d" k, Printf.sprintf "wrb-%d" k
+    in
+    if not (Obda.insert_role engine ~role ~subj ~obj) then
+      failwith "E19: writer fact rejected as duplicate";
+    writer_facts := (role, subj, obj) :: !writer_facts
+  in
+  let run_pass ~writers =
+    Array.mapi
+      (fun ri qi ->
+        if writers && ri mod 5 = 4 then insert_nth ri;
+        let t0 = Unix.gettimeofday () in
+        let o = Obda.answer engine tbox strategy entries.(qi).Lubm.Workload.query in
+        (match o.Obda.answers with
+        | Ok _ -> ()
+        | Error e -> failwith ("E19: " ^ e));
+        (Unix.gettimeofday () -. t0) *. 1000., o.Obda.plan_cached)
+      requests
+  in
+  let cold = run_pass ~writers:false in
+  let views_before = Obda.fragment_view_count engine in
+  let warm = run_pass ~writers:true in
+  let views_after = Obda.fragment_view_count engine in
+  let lat pass = Array.map fst pass in
+  let hit_rate pass =
+    float_of_int
+      (Array.fold_left (fun acc (_, h) -> if h then acc + 1 else acc) 0 pass)
+    /. float_of_int (Array.length pass)
+  in
+  let writes = List.length !writer_facts in
+  Fmt.pr
+    "replay at %d facts: cold p95 %.2f ms; warm+writers p95 %.2f ms, plan hits \
+     %.0f%%, %d writes, views %d -> %d@."
+    !small_facts (p95 (lat cold)) (p95 (lat warm))
+    (100. *. hit_rate warm) writes views_before views_after;
+  (* every answer after the interleaved writes must match an engine
+     built cold from the final fact set *)
+  let final_abox = Lubm.Generator.generate ~seed:!seed ~target_facts:!small_facts () in
+  List.iter
+    (fun (role, subj, obj) -> Dllite.Abox.add_role final_abox ~role ~subj ~obj)
+    (List.rev !writer_facts);
+  let fresh = Obda.make_engine `Pglite `Simple final_abox in
+  Array.iter
+    (fun e ->
+      if
+        Obda.answers_exn engine tbox strategy e.Lubm.Workload.query
+        <> Obda.answers_exn fresh tbox strategy e.Lubm.Workload.query
+      then
+        failwith
+          (Printf.sprintf "E19: %s diverged from the fresh engine"
+             e.Lubm.Workload.name))
+    entries;
+  record_json
+    [ "exp", "\"updates\"";
+      "part", "\"writer_replay\"";
+      "facts", string_of_int !small_facts;
+      "requests", string_of_int (Array.length requests);
+      "writes", string_of_int writes;
+      "strategy", Printf.sprintf "%S" (Obda.strategy_name strategy);
+      "cold_p95_ms", Printf.sprintf "%.3f" (p95 (lat cold));
+      "warm_p95_ms", Printf.sprintf "%.3f" (p95 (lat warm));
+      "warm_plan_hit_rate", Printf.sprintf "%.3f" (hit_rate warm);
+      "views_before_writes", string_of_int views_before;
+      "views_after_writes", string_of_int views_after;
+      "answers_identical", "true" ];
+  if hit_rate warm < 0.80 then
+    failwith
+      (Printf.sprintf "E19: warm plan hit rate %.3f below the 0.80 floor"
+         (hit_rate warm));
+  Fmt.pr "answers identical to the cold fresh engine: true@."
+
 (* {1 Driver} *)
 
 let experiments =
@@ -1275,6 +1456,7 @@ let experiments =
     "sip", exp_sip;
     "storage", exp_storage;
     "server", exp_server;
+    "updates", exp_updates;
   ]
 
 let () =
@@ -1287,7 +1469,7 @@ let () =
       "--exp", Arg.String (fun s -> selected := s :: !selected),
         " run one experiment (table6, edl-vs-gdl, fig2-small, fig2-large, \
          fig3-small, fig3-large, gdl-time, anatomy, ablation-gq, uscq, views, \
-         saturation, calibration, replay, engine, sip, storage, server)";
+         saturation, calibration, replay, engine, sip, storage, server, updates)";
       "--small", Arg.Set_int small_facts, " facts in the small dataset (default 30000)";
       "--large", Arg.Set_int large_facts, " facts in the large dataset (default 120000)";
       "--seed", Arg.Set_int seed, " generator seed (default 42)";

@@ -186,6 +186,18 @@ let mem t k = locked t (fun () -> Hashtbl.mem t.table k)
 
 let clear t = locked t (fun () -> drop_all t)
 
+let invalidate_if t pred =
+  locked t (fun () ->
+      let doomed =
+        Hashtbl.fold (fun k n acc -> if pred k then n :: acc else acc) t.table []
+      in
+      if doomed <> [] then begin
+        List.iter (drop_node t) doomed;
+        Atomic.incr t.invalidations;
+        Obs.Metrics.incr t.m_invalidations
+      end;
+      List.length doomed)
+
 let set_version t v =
   locked t (fun () ->
       if v <> t.version then begin

@@ -85,6 +85,12 @@ val mem : ('k, 'v) t -> 'k -> bool
 val clear : ('k, 'v) t -> unit
 (** Drops every entry (counted neither as eviction nor invalidation). *)
 
+val invalidate_if : ('k, 'v) t -> ('k -> bool) -> int
+(** Drops every entry whose key satisfies the predicate and returns
+    how many were dropped (counted as one {e invalidation} when any
+    were). The predicate runs with the cache lock held: it must be
+    pure and cheap, and must not reenter the cache. *)
+
 val set_version : ('k, 'v) t -> int -> unit
 (** [set_version t v] compares [v] with the cache's current version
     stamp; when different, every entry is dropped (one {e

@@ -42,23 +42,37 @@ let make_engine kind layout_kind abox =
 
 let generation e = e.generation
 
-(* An accepted insert advances the engine's KB generation: the view
-   store revalidates against the new stamp (dropping every stored
-   fragment — they may no longer reflect the data), and plan-cache
-   entries of older generations become unreachable through their keys
-   and age out of the LRU. *)
-let data_changed e =
+(* Process-wide update sequence: every accepted insert on any engine
+   advances it, and the generation-keyed plan cache is version-flushed
+   against it (its entries embed a superseded generation and would
+   otherwise sit dead in the LRU, evicting live plans). Declared here,
+   applied in [data_changed] below the cache definitions. *)
+let update_seq = Atomic.make 0
+
+let flush_gen_plans = ref (fun (_ : int) -> ())
+
+(* An accepted insert advances the engine's KB generation and reports
+   the touched predicate. Invalidation is predicate-scoped: the view
+   store drops exactly the fragments that read the touched predicate
+   (the rest stay warm), the generation-keyed plan cache (GDL/EDL —
+   their covers depend on statistics) is version-flushed, and plans of
+   the data-independent strategies are keyed without the generation,
+   so they survive untouched. *)
+let data_changed e ~predicate =
   e.generation <- e.generation + 1;
-  Option.iter (fun s -> Cache.Lru.set_version s e.generation) e.views
+  !flush_gen_plans (Atomic.fetch_and_add update_seq 1 + 1);
+  Option.iter
+    (fun s -> ignore (Rdbms.Exec.invalidate_views s [ predicate ]))
+    e.views
 
 let insert_concept e ~concept ~ind =
   let inserted = Rdbms.Layout.insert_concept e.layout ~concept ~ind in
-  if inserted then data_changed e;
+  if inserted then data_changed e ~predicate:concept;
   inserted
 
 let insert_role e ~role ~subj ~obj =
   let inserted = Rdbms.Layout.insert_role e.layout ~role ~subj ~obj in
-  if inserted then data_changed e;
+  if inserted then data_changed e ~predicate:role;
   inserted
 
 let enable_fragment_views e =
@@ -155,38 +169,75 @@ type plan = {
   p_cover : Covers.Generalized.t option;
 }
 
-(* The plan cache: repeated queries skip PerfectRef and the EDL/GDL
-   cover search entirely. Keyed by engine id (cost estimates depend on
-   the engine's statistics), KB generation (stale-cost entries age
-   out after updates), TBox uid, strategy and the canonical form of
-   the query — so a plan is only ever replayed in exactly the context
-   that produced it. Reformulations are data-independent, which makes
-   replaying them answer-sound. *)
+(* A strategy is data-independent when its output is a function of the
+   TBox and query alone: UCQ/USCQ/CROOT never consult statistics, so
+   their plans stay valid across any sequence of updates. The GDL/EDL
+   family searches covers under a cost model fed by the engine's
+   statistics — those plans are still answer-sound after an update
+   (any reformulation is), but their optimality claim is stale. *)
+let data_independent = function
+  | Ucq | Uscq | Croot -> true
+  | Gdl _ | Gdl_limited _ | Edl _ -> false
+
+(* The plan caches: repeated queries skip PerfectRef and the EDL/GDL
+   cover search entirely. Keyed by engine id, TBox uid, strategy and
+   the canonical form of the query — a plan is only ever replayed in
+   exactly the context that produced it. Data-independent strategies
+   live in [plan_cache] with no generation component, so their entries
+   survive updates outright. Cost-based strategies live in
+   [gen_plan_cache]: their keys embed the KB generation (an update
+   shifts the statistics their cover search optimised against), and
+   the cache is version-flushed on every update so superseded entries
+   are reclaimed immediately instead of squatting in the LRU. *)
 let default_plan_cache_capacity = 256
 
+let plan_cost p = Query.Fol.total_atoms p.p_reformulation * 128
+
 let plan_cache : (string, plan) Cache.Lru.t =
-  Cache.Lru.create
-    ~cost_of:(fun p -> Query.Fol.total_atoms p.p_reformulation * 128)
-    ~name:"plan" ~capacity:default_plan_cache_capacity ()
+  Cache.Lru.create ~cost_of:plan_cost ~name:"plan"
+    ~capacity:default_plan_cache_capacity ()
 
-let set_plan_cache_capacity n = Cache.Lru.set_capacity plan_cache n
+let gen_plan_cache : (string, plan) Cache.Lru.t =
+  Cache.Lru.create ~cost_of:plan_cost ~name:"plan_gen"
+    ~capacity:default_plan_cache_capacity ()
 
-let plan_cache_stats () = Cache.Lru.stats plan_cache
+let () = flush_gen_plans := fun seq -> Cache.Lru.set_version gen_plan_cache seq
 
-let clear_plan_cache () = Cache.Lru.clear plan_cache
+let set_plan_cache_capacity n =
+  Cache.Lru.set_capacity plan_cache n;
+  Cache.Lru.set_capacity gen_plan_cache n
+
+let plan_cache_stats () =
+  let a = Cache.Lru.stats plan_cache and b = Cache.Lru.stats gen_plan_cache in
+  {
+    a with
+    Cache.Lru.hits = a.Cache.Lru.hits + b.Cache.Lru.hits;
+    misses = a.Cache.Lru.misses + b.Cache.Lru.misses;
+    evictions = a.Cache.Lru.evictions + b.Cache.Lru.evictions;
+    invalidations = a.Cache.Lru.invalidations + b.Cache.Lru.invalidations;
+    entries = a.Cache.Lru.entries + b.Cache.Lru.entries;
+    cost = a.Cache.Lru.cost + b.Cache.Lru.cost;
+    capacity = a.Cache.Lru.capacity + b.Cache.Lru.capacity;
+  }
+
+let clear_plan_cache () =
+  Cache.Lru.clear plan_cache;
+  Cache.Lru.clear gen_plan_cache
 
 let plan_key e tbox strategy q =
-  Printf.sprintf "%d/%d/%d/%s/%s" e.id e.generation (Dllite.Tbox.uid tbox)
+  let generation = if data_independent strategy then "-" else string_of_int e.generation in
+  Printf.sprintf "%d/%s/%d/%s/%s" e.id generation (Dllite.Tbox.uid tbox)
     (strategy_name strategy)
     (Query.Cq.to_string (Query.Cq.canonicalize q))
 
 let plan_for e tbox strategy q =
+  let cache = if data_independent strategy then plan_cache else gen_plan_cache in
   let key = plan_key e tbox strategy q in
-  match Cache.Lru.find plan_cache key with
+  match Cache.Lru.find cache key with
   | Some p -> p, true
   | None ->
     let fol, cover = compute_plan e tbox strategy q in
-    ( Cache.Lru.add_if_absent plan_cache key
+    ( Cache.Lru.add_if_absent cache key
         { p_reformulation = fol; p_cover = cover },
       false )
 

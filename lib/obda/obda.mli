@@ -86,11 +86,14 @@ val estimator : engine -> cost_source -> Optimizer.Estimator.t
 (** {2 Incremental updates}
 
     New facts can be inserted into a loaded engine (after the
-    dynamic-databases concern of {e [17]}): tables, indexes and
-    statistics are maintained in place, and any materialised fragment
-    views are invalidated. Reformulations are data-independent, so the
-    reformulation caches stay valid. Consistency of the update is the
-    caller's concern ({!Dllite.Kb.check_consistency} /
+    dynamic-databases concern of {e [17]}): inserts land in per-table
+    delta buffers ({!Rdbms.Storage}), indexes and statistics are
+    maintained in place, and invalidation is {e predicate-scoped} —
+    only the materialised fragment views that read the touched
+    concept/role are dropped, and only the generation-keyed (cost-based)
+    plan-cache entries are flushed; plans of the data-independent
+    strategies survive updates outright. Consistency of the update is
+    the caller's concern ({!Dllite.Kb.check_consistency} /
     {!Reform.Consistency}). *)
 
 val insert_concept : engine -> concept:string -> ind:string -> bool
@@ -100,27 +103,36 @@ val insert_role : engine -> role:string -> subj:string -> obj:string -> bool
 
 val generation : engine -> int
 (** The engine's KB generation: starts at [0], advances on every
-    accepted insert. Plan-cache keys and the view store's version
-    stamp both carry it, so neither cache can serve state computed
-    against older data. *)
+    accepted insert. Cost-based plan-cache keys carry it, so a
+    stale-statistics cover search is never replayed after an update. *)
 
 (** {2:plan_cache Plan cache}
 
-    A process-wide bounded LRU memoising the outcome of the
+    Two process-wide bounded LRUs memoising the outcome of the
     optimisation step — the chosen cover and compiled reformulation —
-    keyed by (engine, KB generation, TBox version, strategy, canonical
-    query). Repeated-query traffic skips PerfectRef and the EDL/GDL
+    keyed by (engine, TBox version, strategy, canonical query). Plans
+    of the data-independent strategies ([Ucq]/[Uscq]/[Croot]) carry no
+    KB-generation component: they are functions of the TBox and query
+    alone, so they survive data updates. Plans of the cost-based
+    strategies ([Gdl]/[Gdl_limited]/[Edl]) additionally embed the
+    engine's generation, and their cache is version-flushed on every
+    update (superseded entries would otherwise squat in the LRU until
+    evicted). Repeated-query traffic skips PerfectRef and the EDL/GDL
     cover search entirely; reformulations are data-independent, so a
     replayed plan returns the same answers as a fresh search. *)
 
 val default_plan_cache_capacity : int
+(** Capacity of {e each} of the two caches. *)
 
 val set_plan_cache_capacity : int -> unit
-(** Resizes the plan cache; [<= 0] disables it. *)
+(** Resizes both plan caches; [<= 0] disables them. *)
 
 val plan_cache_stats : unit -> Cache.Lru.stats
+(** Merged statistics over both plan caches (counters and sizes are
+    summed; the [name]/[version] fields are the stable cache's). *)
 
 val clear_plan_cache : unit -> unit
+(** Clears both plan caches. *)
 
 (** {2 Materialised fragment views}
 
@@ -128,9 +140,11 @@ val clear_plan_cache : unit -> unit
     ([WITH] subqueries) are materialised anyway — keeping them in a
     view store shared across queries lets later queries that
     materialise the same fragment against the same data reuse the
-    stored result. The store is a bounded {!Cache.Lru} versioned by
-    the engine's KB generation: an insert flushes it, so a stale
-    fragment is never served. *)
+    stored result. The store is a bounded {!Cache.Lru} keyed by each
+    fragment's read set: an insert drops exactly the fragments that
+    read the touched predicate ({!Rdbms.Exec.invalidate_views}) and
+    keeps the rest warm, so a stale fragment is never served and an
+    update to one predicate does not cold-start the whole store. *)
 
 val enable_fragment_views : engine -> unit
 (** Start sharing materialised fragments across subsequent

@@ -69,7 +69,10 @@ let fresh_counters () =
     build_hits = Atomic.make 0;
   }
 
-type view_store = (string, Relation.t) Cache.Lru.t
+(* Keys carry the fragment's read set alongside the injective
+   structural key, so an update can drop exactly the views that read a
+   touched predicate and keep the rest warm. *)
+type view_store = (string list * string, Relation.t) Cache.Lru.t
 
 let default_view_capacity = 256
 
@@ -77,6 +80,15 @@ let default_view_capacity = 256
    storage ({!Relation.bytes}) — no more per-row overhead guessing. *)
 let fresh_view_store ?(capacity = default_view_capacity) () : view_store =
   Cache.Lru.create ~cost_of:Relation.bytes ~name:"views" ~capacity ()
+
+let view_key p = Plan.predicates p, Plan.structural_key p
+
+let invalidate_views (store : view_store) touched =
+  match touched with
+  | [] -> 0
+  | _ ->
+    Cache.Lru.invalidate_if store (fun (preds, _) ->
+        List.exists (fun p -> List.mem p touched) preds)
 
 (* The per-run scan/build caches are bounded too, with a capacity
    generous enough that all arms of one reformulated union share their
@@ -451,11 +463,26 @@ let sip_col on dir =
    column of a full variable scan on the simple layout, stream the
    stored compressed segments directly ({!Physical.segments_scan}) and
    let the reducer's exact key range discard whole segments off their
-   zone maps before any decoding. Only the uncached configuration
-   takes this path — the scan cache must store the canonical
-   unfiltered relation, so cached scans keep materialising. Row-level
-   reducer filtering still applies on top ([apply_sip]); the zone test
-   is the necessary-condition prefilter, never the membership test. *)
+   zone maps before any decoding. The table's pending delta tail rides
+   along as a final pseudo-segment (its min/max plays the zone map) —
+   without it a segment-streaming scan would miss facts inserted since
+   the last compaction. Only the uncached configuration takes this
+   path — the scan cache must store the canonical unfiltered relation,
+   so cached scans keep materialising. Row-level reducer filtering
+   still applies on top ([apply_sip]); the zone test is the
+   necessary-condition prefilter, never the membership test. *)
+let array_range a =
+  let n = Array.length a in
+  if n = 0 then None
+  else begin
+    let lo = ref a.(0) and hi = ref a.(0) in
+    for i = 1 to n - 1 do
+      if a.(i) < !lo then lo := a.(i);
+      if a.(i) > !hi then hi := a.(i)
+    done;
+    Some (!lo, !hi)
+  end
+
 let segmented_scan_op ctx (env : senv) atom =
   if ctx.config.scan_cache || env = [] then None
   else
@@ -465,6 +492,11 @@ let segmented_scan_op ctx (env : senv) atom =
       let zone_miss col r i =
         let lo, hi = Colstore.zone col i in
         not (Sip.overlaps_range r ~lo ~hi)
+      in
+      let range_miss range r =
+        match range with
+        | None -> true
+        | Some (lo, hi) -> not (Sip.overlaps_range r ~lo ~hi)
       in
       let count_scan () =
         Atomic.incr ctx.counters.scans;
@@ -476,23 +508,34 @@ let segmented_scan_op ctx (env : senv) atom =
         | None -> None
         | Some col ->
           let r = List.assoc v env in
+          let tail_col = Storage.concept_tail s p in
+          let tail_rng = array_range tail_col in
+          let nsegs = Colstore.seg_count col in
+          let skip i =
+            if i < nsegs then zone_miss col r i else range_miss tail_rng r
+          in
           count_scan ();
           Some
-            (Physical.segments_scan ~cols:[| v |] ~skip:(zone_miss col r)
+            (Physical.segments_scan ~tail:[| tail_col |] ~cols:[| v |] ~skip
                [| col |]))
       | Atom.Ra (p, Term.Var v1, Term.Var v2)
         when v1 <> v2 && (List.mem_assoc v1 env || List.mem_assoc v2 env) -> (
         match Storage.role_colstores s p with
         | None -> None
         | Some (scol, ocol) ->
-          let side col v i =
+          let tail_s, tail_o = Storage.role_tail s p in
+          let rng_s = array_range tail_s and rng_o = array_range tail_o in
+          let nsegs = Colstore.seg_count scol in
+          let side col rng v i =
             match List.assoc_opt v env with
             | None -> false
-            | Some r -> zone_miss col r i
+            | Some r -> if i < nsegs then zone_miss col r i else range_miss rng r
           in
-          let skip i = side scol v1 i || side ocol v2 i in
+          let skip i = side scol rng_s v1 i || side ocol rng_o v2 i in
           count_scan ();
-          Some (Physical.segments_scan ~cols:[| v1; v2 |] ~skip [| scol; ocol |]))
+          Some
+            (Physical.segments_scan ~tail:[| tail_s; tail_o |]
+               ~cols:[| v1; v2 |] ~skip [| scol; ocol |]))
       | _ -> None)
 
 (* {2 Plan compilation}
@@ -565,7 +608,7 @@ let rec compile ctx env plan =
     match ctx.views with
     | None -> compile ctx env p
     | Some store -> (
-      let key = Plan.structural_key p in
+      let key = view_key p in
       match Cache.Lru.find store key with
       | Some rel -> apply_sip env (Physical.of_relation rel)
       | None ->
@@ -978,7 +1021,7 @@ let rec compile_analyzed ctx env plan =
       let i, is_ = compile_analyzed ctx env p in
       finish i [ is_ ]
     | Some store -> (
-      let key = Plan.structural_key p in
+      let key = view_key p in
       let filtered ~cache rel children =
         let pruned = ref 0 in
         let op =

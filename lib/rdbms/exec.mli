@@ -46,17 +46,19 @@ type counters = {
     count; under parallelism two arms may both miss on a signature,
     shifting a hit into a performed scan, but the total is stable. *)
 
-type view_store = (string, Relation.t) Cache.Lru.t
+type view_store = (string list * string, Relation.t) Cache.Lru.t
 (** Materialised fragment views (the paper's §7 future-work extension):
     a bounded LRU shared {e across} query executions. Every
-    [Materialize] node's result is keyed by the injective
-    {!Plan.structural_key} of its fragment (plan {e text} would
-    conflate a variable with an equally-named constant) and costed at
-    the exact {!Relation.bytes} of the stored columns; it is reused
-    verbatim on the next query that materialises the same fragment
-    against the same data. The store must be flushed
-    ({!Cache.Lru.set_version} with the new KB generation, or
-    {!Cache.Lru.clear}) if the underlying data changes. *)
+    [Materialize] node's result is keyed by the fragment's read set
+    ({!Plan.predicates}) paired with the injective
+    {!Plan.structural_key} (plan {e text} would conflate a variable
+    with an equally-named constant) and costed at the exact
+    {!Relation.bytes} of the stored columns; it is reused verbatim on
+    the next query that materialises the same fragment against the
+    same data. After an update, {!invalidate_views} drops exactly the
+    fragments whose read set meets the touched predicates and keeps
+    the rest warm ({!Cache.Lru.set_version} / {!Cache.Lru.clear}
+    remain the full-flush hammer). *)
 
 val default_view_capacity : int
 
@@ -64,6 +66,15 @@ val fresh_view_store : ?capacity:int -> unit -> view_store
 (** A fresh store, bounded by entry count (default
     {!default_view_capacity}) and costed by approximate relation
     bytes. *)
+
+val view_key : Plan.t -> string list * string
+(** The key a [Materialize] of this fragment stores under:
+    ({!Plan.predicates}, {!Plan.structural_key}). *)
+
+val invalidate_views : view_store -> string list -> int
+(** [invalidate_views store touched] drops every stored fragment that
+    reads any of the [touched] predicate names and returns how many
+    were dropped; fragments over untouched predicates survive. *)
 
 val default_run_cache_capacity : int
 

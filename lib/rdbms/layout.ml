@@ -98,6 +98,12 @@ let role_eq_rows t role side code =
       (Storage.role_histogram s role side)
   | Rdf _ -> None
 
+let compact = function Simple s -> Storage.compact s | Rdf _ -> ()
+
+let delta_fact_count = function
+  | Simple s -> Storage.delta_fact_count s
+  | Rdf _ -> 0
+
 let insert_concept t ~concept ~ind =
   match t with
   | Simple s -> Storage.insert_concept s ~concept ~ind

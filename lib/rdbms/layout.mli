@@ -85,6 +85,15 @@ val role_eq_rows : t -> string -> [ `Subject | `Object ] -> int -> float option
     segment's range (provably absent). [None] when no histogram exists
     — notably on the RDF layout. *)
 
+val compact : t -> unit
+(** Folds any pending delta tails into encoded segments
+    ({!Storage.compact}); a no-op on the RDF layout, which has no
+    segmented columns. *)
+
+val delta_fact_count : t -> int
+(** Pending (uncompacted) inserted facts ({!Storage.delta_fact_count});
+    [0] on the RDF layout. *)
+
 val insert_concept : t -> concept:string -> ind:string -> bool
 (** Incrementally asserts a concept fact; [false] if already stored. *)
 

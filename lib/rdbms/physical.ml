@@ -42,16 +42,31 @@ let of_relation ?(batch_size = Batch.default_size) (r : Relation.t) =
    arrays, and [skip] consults the zone maps {e before} any decoding —
    a skipped segment costs one predicate call, its rows are never
    unpacked. The stores must be segment-aligned (same [segment_rows],
-   same length), which {!Storage} guarantees for a role's two columns. *)
-let segments_scan ?(batch_size = Batch.default_size) ~cols ~skip stores =
+   same length), which {!Storage} guarantees for a role's two columns.
+   [tail] streams a table's pending delta rows (column arrays parallel
+   to [stores]) as one final pseudo-segment: [skip] is consulted for
+   it at index [seg_count], so reducers can range-test the tail the
+   same way they zone-test real segments. *)
+let segments_scan ?(batch_size = Batch.default_size) ?(tail = [||]) ~cols ~skip
+    stores =
   let nsegs =
     if Array.length stores = 0 then 0 else Colstore.seg_count stores.(0)
   in
+  let tail_len = if Array.length tail = 0 then 0 else Array.length tail.(0) in
+  let units = nsegs + if tail_len > 0 then 1 else 0 in
+  let unit_len i =
+    if i < nsegs then Segment.length (Colstore.seg stores.(0) i) else tail_len
+  in
+  let slice i ~off ~len =
+    if i < nsegs then
+      Array.map (fun st -> Segment.decode_slice (Colstore.seg st i) ~off ~len) stores
+    else Array.map (fun col -> Array.sub col off len) tail
+  in
   let si = ref 0 and off = ref 0 in
   let rec next () =
-    if !si >= nsegs then None
+    if !si >= units then None
     else begin
-      let seg_len = Segment.length (Colstore.seg stores.(0) !si) in
+      let seg_len = unit_len !si in
       if !off = 0 && skip !si then begin
         Colstore.note_segment ~skipped:true;
         incr si;
@@ -60,11 +75,7 @@ let segments_scan ?(batch_size = Batch.default_size) ~cols ~skip stores =
       else begin
         if !off = 0 then Colstore.note_segment ~skipped:false;
         let len = min batch_size (seg_len - !off) in
-        let data =
-          Array.map
-            (fun st -> Segment.decode_slice (Colstore.seg st !si) ~off:!off ~len)
-            stores
-        in
+        let data = slice !si ~off:!off ~len in
         let b = { Batch.cols; data; sel = None; off = 0; len } in
         off := !off + len;
         if !off >= seg_len then begin

@@ -26,6 +26,7 @@ val of_relation : ?batch_size:int -> Relation.t -> op
 
 val segments_scan :
   ?batch_size:int ->
+  ?tail:int array array ->
   cols:string array ->
   skip:(int -> bool) ->
   Colstore.t array ->
@@ -36,7 +37,11 @@ val segments_scan :
     returning [true] (e.g. because a sideways-information-passing
     reducer's key range misses the segment's zone map) drops all of
     segment [i]'s rows at the cost of a single predicate call. Both
-    outcomes feed the {!Colstore} scan counters. *)
+    outcomes feed the {!Colstore} scan counters. [tail] (column arrays
+    parallel to the stores — a table's pending delta rows) streams as
+    one final pseudo-segment after the real ones, with [skip]
+    consulted for it at index [Colstore.seg_count]; when absent or
+    empty the scan is exactly the segments. *)
 
 val to_relation : op -> Relation.t
 (** Drains (and closes) an operator into a relation. A single whole

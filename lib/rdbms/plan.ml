@@ -90,6 +90,30 @@ let rec union_arms = function
     List.fold_left (fun n p -> max n (union_arms p)) (List.length inputs) inputs
   | Sip { join; _ } -> union_arms join
 
+(* The base predicates (concept and role names) a plan reads — the
+   data a cached result of this plan depends on. Sorted, duplicate
+   free; drives predicate-scoped view invalidation after updates. *)
+let predicates plan =
+  let acc = ref [] in
+  let atom = function
+    | Query.Atom.Ca (p, _) | Query.Atom.Ra (p, _, _) -> acc := p :: !acc
+  in
+  let rec go = function
+    | Scan a -> atom a
+    | Hash_join { left; right; _ } | Merge_join { left; right; _ } ->
+      go left;
+      go right
+    | Index_join { left; atom = a; _ } ->
+      atom a;
+      go left
+    | Project { input; _ } -> go input
+    | Distinct p | Materialize p -> go p
+    | Union { inputs; _ } -> List.iter go inputs
+    | Sip { join; _ } -> go join
+  in
+  go plan;
+  List.sort_uniq String.compare !acc
+
 (* An injective serialisation of a plan. [pp] is for humans and
    conflates a variable with an equally-named constant (both print as
    the bare name), so it must never key a cache; this form

@@ -7,30 +7,38 @@ type table_stats = {
    column(s) ({!Colstore}): concept members sorted and deduplicated,
    role pairs sorted by (subject, object) and deduplicated, so the
    subject column is non-decreasing and frame-of-reference packs
-   tightly. Flat decoded arrays, hash indexes and histograms are all
-   derived snapshots, built lazily and published through [Atomic.t] so
-   parallel plan arms can race on first use: both racers build the
-   same value from the immutable segments, a compare-and-set picks the
+   tightly. Since PR 8 each table also carries a small unsorted {e
+   delta tail} of pending inserts, disjoint from the encoded segments
+   by construction (duplicates are rejected at insert time): a single
+   insert is an O(1) amortised buffer push, and a size-triggered
+   [compact] merges the tail back into proper segments. Flat decoded
+   arrays, hash indexes and histograms are all derived snapshots of
+   the {e merged} table (segments ∪ tail), built lazily and published
+   through [Atomic.t] so parallel plan arms can race on first use:
+   both racers build the same value, a compare-and-set picks the
    winner, and the atomic write orders the contents before the pointer
-   every reader dereferences. In-place maintenance ([insert_*]) is not
-   concurrent with query evaluation by contract. *)
+   every reader dereferences. In-place maintenance ([insert_*],
+   [compact]) is not concurrent with query evaluation by contract. *)
 type concept_table = {
   mutable col : Colstore.t;  (* sorted, deduplicated codes *)
-  members_c : int array option Atomic.t;  (* lazy decoded view *)
+  mutable c_tail : Ibuf.t;  (* pending inserts, disjoint from [col] *)
+  members_c : int array option Atomic.t;  (* lazy merged decoded view *)
   member_set : (int, unit) Hashtbl.t option Atomic.t;  (* lazy index *)
 }
 
 type role_table = {
   mutable scol : Colstore.t;  (* subjects, (s,o)-sorted *)
   mutable ocol : Colstore.t;  (* objects, segment-aligned with scol *)
+  mutable rs_tail : Ibuf.t;  (* pending subjects, parallel to ro_tail *)
+  mutable ro_tail : Ibuf.t;  (* pending objects *)
   mutable r_stats : table_stats;
-  pairs_c : (int * int) array option Atomic.t;  (* lazy decoded view *)
+  pairs_c : (int * int) array option Atomic.t;  (* lazy merged view *)
   by_subject : (int, (int * int) array) Hashtbl.t option Atomic.t;
   by_object : (int, (int * int) array) Hashtbl.t option Atomic.t;
   hist_subject : Histogram.t option Atomic.t;  (* lazy column histograms *)
   hist_object : Histogram.t option Atomic.t;
   columns : (int array * int array) option Atomic.t;
-      (* lazy decoded columnar projection: (subjects, objects), shared
+      (* lazy merged columnar projection: (subjects, objects), shared
          zero-copy by every full scan of the role *)
 }
 
@@ -40,7 +48,10 @@ type t = {
   roles : (string, role_table) Hashtbl.t;
   mutable total_facts : int;
   segment_rows : int;
+  mutable delta_rows : int;  (* tail length that triggers a merge *)
 }
+
+let default_delta_rows = 4096
 
 let m_load_ns =
   Obs.Metrics.counter ~help:"cumulative storage load/open time (ns)" "storage.load_ns"
@@ -131,11 +142,64 @@ let count_distinct_arr a =
   Array.iter (fun v -> Hashtbl.replace seen v ()) a;
   Hashtbl.length seen
 
+(* Linear merge of two sorted {e disjoint} arrays — how a decoded view
+   folds a sorted delta tail into the sorted segment decode without a
+   full re-sort. *)
+let merge_ints a b =
+  let na = Array.length a and nb = Array.length b in
+  if nb = 0 then a
+  else if na = 0 then b
+  else begin
+    let out = Array.make (na + nb) 0 in
+    let i = ref 0 and j = ref 0 in
+    for k = 0 to na + nb - 1 do
+      if !j >= nb || (!i < na && a.(!i) < b.(!j)) then begin
+        out.(k) <- a.(!i);
+        incr i
+      end
+      else begin
+        out.(k) <- b.(!j);
+        incr j
+      end
+    done;
+    out
+  end
+
+(* Same merge over (s, o)-sorted disjoint pair columns. *)
+let merge_pair_cols (asub, aobj) (bsub, bobj) =
+  let na = Array.length asub and nb = Array.length bsub in
+  if nb = 0 then asub, aobj
+  else if na = 0 then bsub, bobj
+  else begin
+    let osub = Array.make (na + nb) 0 and oobj = Array.make (na + nb) 0 in
+    let i = ref 0 and j = ref 0 in
+    for k = 0 to na + nb - 1 do
+      let take_a =
+        !j >= nb
+        || (!i < na
+           && (asub.(!i) < bsub.(!j)
+              || (asub.(!i) = bsub.(!j) && aobj.(!i) < bobj.(!j))))
+      in
+      if take_a then begin
+        osub.(k) <- asub.(!i);
+        oobj.(k) <- aobj.(!i);
+        incr i
+      end
+      else begin
+        osub.(k) <- bsub.(!j);
+        oobj.(k) <- bobj.(!j);
+        incr j
+      end
+    done;
+    osub, oobj
+  end
+
 (* {1 Table construction} *)
 
 let fresh_concept_table ?decoded ~segment_rows members =
   {
     col = Colstore.of_array ~segment_rows ~sorted:true members;
+    c_tail = Ibuf.create ();
     members_c = Atomic.make (if decoded = Some false then None else Some members);
     member_set = Atomic.make None;
   }
@@ -151,6 +215,8 @@ let fresh_role_table ?decoded ~segment_rows subs objs =
   {
     scol = Colstore.of_array ~segment_rows ~sorted:true subs;
     ocol = Colstore.of_array ~segment_rows objs;
+    rs_tail = Ibuf.create ();
+    ro_tail = Ibuf.create ();
     r_stats = stats;
     pairs_c = Atomic.make None;
     by_subject = Atomic.make None;
@@ -179,7 +245,14 @@ let of_abox ?(segment_rows = Colstore.default_segment_rows) abox =
           total := !total + Array.length subs;
           Hashtbl.replace roles name (fresh_role_table ~segment_rows subs objs))
         (Dllite.Abox.role_names abox);
-      { dict = Dllite.Abox.dict abox; concepts; roles; total_facts = !total; segment_rows })
+      {
+        dict = Dllite.Abox.dict abox;
+        concepts;
+        roles;
+        total_facts = !total;
+        segment_rows;
+        delta_rows = default_delta_rows;
+      })
 
 let dict t = t.dict
 
@@ -199,38 +272,53 @@ let force_index cell build =
     if Atomic.compare_and_set cell None (Some v) then v
     else Option.get (Atomic.get cell)
 
+(* Every decoded view presents the merged table: the sorted segment
+   decode linearly merged with the (sorted, deduplicated) delta tail.
+   Tail rows are disjoint from the segments by construction, so the
+   merge needs no dedup pass. *)
+let concept_members ct =
+  force_index ct.members_c (fun () ->
+      let base = Colstore.to_array ct.col in
+      if Ibuf.length ct.c_tail = 0 then base
+      else merge_ints base (sort_dedup_ints (Ibuf.to_array ct.c_tail)))
+
 let concept_rows t name =
   match Hashtbl.find_opt t.concepts name with
-  | Some ct -> force_index ct.members_c (fun () -> Colstore.to_array ct.col)
+  | Some ct -> concept_members ct
   | None -> [||]
 
 let empty_cols : int array * int array = [||], [||]
 
-(* Decoded columnar projection of a role table, built once per
-   segments snapshot (CAS-published like the hash indexes, replaced by
+let role_columns rt =
+  force_index rt.columns (fun () ->
+      let base = Colstore.to_array rt.scol, Colstore.to_array rt.ocol in
+      if Ibuf.length rt.rs_tail = 0 then base
+      else
+        merge_pair_cols base
+          (sort_dedup_pairs (Ibuf.to_array rt.rs_tail) (Ibuf.to_array rt.ro_tail)))
+
+(* Decoded columnar projection of a role table, built once per table
+   snapshot (CAS-published like the hash indexes, invalidated by
    insertion). Scan relations alias these arrays directly. *)
 let role_cols t name =
   match Hashtbl.find_opt t.roles name with
   | None -> empty_cols
-  | Some rt ->
-    force_index rt.columns (fun () ->
-        Colstore.to_array rt.scol, Colstore.to_array rt.ocol)
+  | Some rt -> role_columns rt
+
+let role_pairs rt =
+  force_index rt.pairs_c (fun () ->
+      let subs, objs = role_columns rt in
+      Array.init (Array.length subs) (fun i -> subs.(i), objs.(i)))
 
 let role_rows t name =
   match Hashtbl.find_opt t.roles name with
   | None -> [||]
-  | Some rt ->
-    force_index rt.pairs_c (fun () ->
-        let subs, objs =
-          force_index rt.columns (fun () ->
-              Colstore.to_array rt.scol, Colstore.to_array rt.ocol)
-        in
-        Array.init (Array.length subs) (fun i -> subs.(i), objs.(i)))
+  | Some rt -> role_pairs rt
 
 let concept_stats t name =
   match Hashtbl.find_opt t.concepts name with
   | Some ct ->
-    let n = Colstore.length ct.col in
+    let n = Colstore.length ct.col + Ibuf.length ct.c_tail in
     { card = n; ndv = [| n |] }
   | None -> { card = 0; ndv = [| 0 |] }
 
@@ -239,19 +327,37 @@ let role_stats t name =
   | Some rt -> rt.r_stats
   | None -> { card = 0; ndv = [| 0; 0 |] }
 
-(* Group the pairs by [extract], keeping each per-key group in the
-   order a reverse cons-accumulation produces (the historical index
-   order, which downstream row order depends on). *)
+(* Group the pairs by [extract], keeping each per-key group in input
+   order — the pairs arrive (s, o)-sorted, so every bucket is sorted
+   ascending by (s, o). Incremental maintenance ([insert_role])
+   preserves exactly this order, so an incrementally-updated index and
+   a from-scratch rebuild are identical, buckets included. *)
 let group_by extract pairs =
-  let h = Hashtbl.create (max 16 (Array.length pairs)) in
+  let n = max 16 (Array.length pairs) in
+  let counts = Hashtbl.create n in
   Array.iter
     (fun p ->
       let k = extract p in
-      let cur = Option.value ~default:[] (Hashtbl.find_opt h k) in
-      Hashtbl.replace h k (p :: cur))
+      Hashtbl.replace counts k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
     pairs;
-  let out = Hashtbl.create (max 16 (Hashtbl.length h)) in
-  Hashtbl.iter (fun k l -> Hashtbl.replace out k (Array.of_list l)) h;
+  let out = Hashtbl.create (max 16 (Hashtbl.length counts)) in
+  let fill = Hashtbl.create (max 16 (Hashtbl.length counts)) in
+  Array.iter
+    (fun p ->
+      let k = extract p in
+      let arr =
+        match Hashtbl.find_opt out k with
+        | Some arr -> arr
+        | None ->
+          let arr = Array.make (Hashtbl.find counts k) p in
+          Hashtbl.add out k arr;
+          arr
+      in
+      let i = Option.value ~default:0 (Hashtbl.find_opt fill k) in
+      arr.(i) <- p;
+      Hashtbl.replace fill k (i + 1))
+    pairs;
   out
 
 let empty_pairs : (int * int) array = [||]
@@ -315,30 +421,125 @@ let concept_col t name =
 let role_colstores t name =
   Option.map (fun rt -> rt.scol, rt.ocol) (Hashtbl.find_opt t.roles name)
 
+(* {1 Delta tails} *)
+
+let empty_ints : int array = [||]
+
+let concept_tail t name =
+  match Hashtbl.find_opt t.concepts name with
+  | Some ct when Ibuf.length ct.c_tail > 0 -> Ibuf.to_array ct.c_tail
+  | _ -> empty_ints
+
+let role_tail t name =
+  match Hashtbl.find_opt t.roles name with
+  | Some rt when Ibuf.length rt.rs_tail > 0 ->
+    Ibuf.to_array rt.rs_tail, Ibuf.to_array rt.ro_tail
+  | _ -> empty_ints, empty_ints
+
+let touched_predicates t =
+  let names = ref [] in
+  Hashtbl.iter
+    (fun name ct -> if Ibuf.length ct.c_tail > 0 then names := name :: !names)
+    t.concepts;
+  Hashtbl.iter
+    (fun name rt -> if Ibuf.length rt.rs_tail > 0 then names := name :: !names)
+    t.roles;
+  List.sort_uniq String.compare !names
+
+let delta_fact_count t =
+  let acc = ref 0 in
+  Hashtbl.iter (fun _ ct -> acc := !acc + Ibuf.length ct.c_tail) t.concepts;
+  Hashtbl.iter (fun _ rt -> acc := !acc + Ibuf.length rt.rs_tail) t.roles;
+  !acc
+
+let set_delta_rows t n = t.delta_rows <- max 1 n
+
+let delta_rows t = t.delta_rows
+
+(* The zone estimate covers segments {e and} the pending tail: a
+   [Some 0] is a soundness claim ("provably absent") that must account
+   for rows not yet compacted into any segment. The tail contribution
+   is an exact count — the tail is at most [delta_rows] entries. *)
 let role_eq_zone_rows t name side code =
   match Hashtbl.find_opt t.roles name with
   | None -> None
   | Some rt ->
-    let col = match side with `Subject -> rt.scol | `Object -> rt.ocol in
-    Some (Colstore.eq_rows_est col code)
+    let col, tail =
+      match side with
+      | `Subject -> rt.scol, rt.rs_tail
+      | `Object -> rt.ocol, rt.ro_tail
+    in
+    let in_tail = ref 0 in
+    for i = 0 to Ibuf.length tail - 1 do
+      if Ibuf.get tail i = code then incr in_tail
+    done;
+    Some (Colstore.eq_rows_est col code + !in_tail)
 
 (* {1 Footprint} *)
 
 let column_bytes t =
   let acc = ref 0 in
-  Hashtbl.iter (fun _ ct -> acc := !acc + Colstore.bytes ct.col) t.concepts;
   Hashtbl.iter
-    (fun _ rt -> acc := !acc + Colstore.bytes rt.scol + Colstore.bytes rt.ocol)
+    (fun _ ct ->
+      acc := !acc + Colstore.bytes ct.col + (8 * Ibuf.length ct.c_tail))
+    t.concepts;
+  Hashtbl.iter
+    (fun _ rt ->
+      acc :=
+        !acc + Colstore.bytes rt.scol + Colstore.bytes rt.ocol
+        + (16 * Ibuf.length rt.rs_tail))
     t.roles;
   !acc
 
 let flat_bytes t =
   let cells = ref 0 in
-  Hashtbl.iter (fun _ ct -> cells := !cells + Colstore.length ct.col) t.concepts;
-  Hashtbl.iter (fun _ rt -> cells := !cells + (2 * Colstore.length rt.scol)) t.roles;
+  Hashtbl.iter
+    (fun _ ct -> cells := !cells + Colstore.length ct.col + Ibuf.length ct.c_tail)
+    t.concepts;
+  Hashtbl.iter
+    (fun _ rt ->
+      cells := !cells + (2 * (Colstore.length rt.scol + Ibuf.length rt.rs_tail)))
+    t.roles;
   8 * !cells
 
-(* {1 Incremental maintenance} *)
+(* {1 Incremental maintenance}
+
+   An accepted insert is O(1) amortised: a hash-index duplicate probe
+   (forced once, then maintained), a push onto the table's delta tail,
+   in-place index and statistics maintenance, and an invalidation of
+   the decoded views (rebuilt lazily by a linear merge, never a full
+   re-sort). Once a tail reaches [delta_rows] entries the table
+   compacts: the merged view is re-encoded into proper FOR/bit-packed
+   segments and the tail empties. *)
+
+let compact_concept t ct =
+  if Ibuf.length ct.c_tail > 0 then begin
+    let members = concept_members ct in
+    ct.col <- Colstore.of_array ~segment_rows:t.segment_rows ~sorted:true members;
+    ct.c_tail <- Ibuf.create ();
+    Atomic.set ct.members_c (Some members)
+  end
+
+let compact_role t rt =
+  if Ibuf.length rt.rs_tail > 0 then begin
+    let subs, objs = role_columns rt in
+    rt.scol <- Colstore.of_array ~segment_rows:t.segment_rows ~sorted:true subs;
+    rt.ocol <- Colstore.of_array ~segment_rows:t.segment_rows objs;
+    rt.rs_tail <- Ibuf.create ();
+    rt.ro_tail <- Ibuf.create ();
+    Atomic.set rt.columns (Some (subs, objs));
+    (* re-derive the stats from the merged columns: resyncs any drift
+       the incremental ndv maintenance could accumulate *)
+    rt.r_stats <-
+      {
+        card = Array.length subs;
+        ndv = [| sorted_distinct subs; count_distinct_arr objs |];
+      }
+  end
+
+let compact t =
+  Hashtbl.iter (fun _ ct -> compact_concept t ct) t.concepts;
+  Hashtbl.iter (fun _ rt -> compact_role t rt) t.roles
 
 let insert_concept t ~concept ~ind =
   let code = Dllite.Dict.encode t.dict ind in
@@ -350,18 +551,39 @@ let insert_concept t ~concept ~ind =
       Hashtbl.add t.concepts concept ct;
       ct
   in
-  let members = force_index ct.members_c (fun () -> Colstore.to_array ct.col) in
-  if Array.exists (fun m -> m = code) members then false
+  (* duplicate probe against the member-set hash index (forced if
+     absent), not a linear scan of the decoded table *)
+  let set =
+    force_index ct.member_set (fun () ->
+        let members = concept_members ct in
+        let h = Hashtbl.create (max 16 (Array.length members)) in
+        Array.iter (fun m -> Hashtbl.replace h m ()) members;
+        h)
+  in
+  if Hashtbl.mem set code then false
   else begin
-    let members = sort_dedup_ints (Array.append members [| code |]) in
-    ct.col <- Colstore.of_array ~segment_rows:t.segment_rows ~sorted:true members;
-    Atomic.set ct.members_c (Some members);
-    (match Atomic.get ct.member_set with
-    | Some h -> Hashtbl.replace h code ()
-    | None -> ());
+    Hashtbl.replace set code ();
+    Ibuf.push ct.c_tail code;
+    Atomic.set ct.members_c None;
     t.total_facts <- t.total_facts + 1;
+    if Ibuf.length ct.c_tail >= t.delta_rows then compact_concept t ct;
     true
   end
+
+(* Splice a pair into a bucket at its (s, o)-sorted position, so the
+   bucket stays identical to what a from-scratch [group_by] over the
+   sorted merged pairs would build. *)
+let bucket_insert arr p =
+  let n = Array.length arr in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid) < p then lo := mid + 1 else hi := mid
+  done;
+  let out = Array.make (n + 1) p in
+  Array.blit arr 0 out 0 !lo;
+  Array.blit arr !lo out (!lo + 1) (n - !lo);
+  out
 
 let insert_role t ~role ~subj ~obj =
   let s = Dllite.Dict.encode t.dict subj in
@@ -374,35 +596,34 @@ let insert_role t ~role ~subj ~obj =
       Hashtbl.add t.roles role rt;
       rt
   in
-  let pairs = role_rows t role in
-  if Array.exists (fun p -> p = (s, o)) pairs then false
+  (* duplicate probe against the subject hash index (forced if
+     absent): O(bucket), not O(table) *)
+  let by_s = force_index rt.by_subject (fun () -> group_by fst (role_pairs rt)) in
+  let sbucket = Option.value ~default:empty_pairs (Hashtbl.find_opt by_s s) in
+  if Array.exists (fun p -> p = (s, o)) sbucket then false
   else begin
-    let n = Array.length pairs in
-    let subs = Array.init (n + 1) (fun i -> if i < n then fst pairs.(i) else s) in
-    let objs = Array.init (n + 1) (fun i -> if i < n then snd pairs.(i) else o) in
-    let subs, objs = sort_dedup_pairs subs objs in
-    rt.scol <- Colstore.of_array ~segment_rows:t.segment_rows ~sorted:true subs;
-    rt.ocol <- Colstore.of_array ~segment_rows:t.segment_rows objs;
+    let by_o = force_index rt.by_object (fun () -> group_by snd (role_pairs rt)) in
+    let obucket = Option.value ~default:empty_pairs (Hashtbl.find_opt by_o o) in
+    let new_subject = Array.length sbucket = 0 in
+    let new_object = Array.length obucket = 0 in
+    Hashtbl.replace by_s s (bucket_insert sbucket (s, o));
+    Hashtbl.replace by_o o (bucket_insert obucket (s, o));
     rt.r_stats <-
       {
-        card = Array.length subs;
-        ndv = [| sorted_distinct subs; count_distinct_arr objs |];
+        card = rt.r_stats.card + 1;
+        ndv =
+          [| (rt.r_stats.ndv.(0) + if new_subject then 1 else 0);
+             (rt.r_stats.ndv.(1) + if new_object then 1 else 0) |];
       };
-    Atomic.set rt.columns (Some (subs, objs));
+    Ibuf.push rt.rs_tail s;
+    Ibuf.push rt.ro_tail o;
+    Atomic.set rt.columns None;
     Atomic.set rt.pairs_c None;
-    let extend cell key =
-      match Atomic.get cell with
-      | Some h ->
-        let cur = Option.value ~default:empty_pairs (Hashtbl.find_opt h key) in
-        Hashtbl.replace h key (Array.append [| (s, o) |] cur)
-      | None -> ()
-    in
-    extend rt.by_subject s;
-    extend rt.by_object o;
     (* histograms are derived snapshots; rebuild lazily after updates *)
     Atomic.set rt.hist_subject None;
     Atomic.set rt.hist_object None;
     t.total_facts <- t.total_facts + 1;
+    if Ibuf.length rt.rs_tail >= t.delta_rows then compact_role t rt;
     true
   end
 
@@ -490,6 +711,7 @@ module Builder = struct
           roles;
           total_facts = !total;
           segment_rows;
+          delta_rows = default_delta_rows;
         })
 end
 
@@ -551,6 +773,9 @@ let write_column_words oc col =
   done
 
 let save t file =
+  (* the on-disk format stores only encoded segments: fold any pending
+     delta tails into segments first so no fact is left behind *)
+  compact t;
   let cnames = concept_names t and rnames = role_names t in
   let dir = Buffer.create (1 lsl 16) in
   let n = Dllite.Dict.size t.dict in
@@ -720,6 +945,7 @@ let load file =
                 Hashtbl.replace concepts name
                   {
                     col;
+                    c_tail = Ibuf.create ();
                     members_c = Atomic.make None;
                     member_set = Atomic.make None;
                   }
@@ -744,6 +970,8 @@ let load file =
                   {
                     scol;
                     ocol;
+                    rs_tail = Ibuf.create ();
+                    ro_tail = Ibuf.create ();
                     r_stats = { card; ndv = [| ndv_s; ndv_o |] };
                     pairs_c = Atomic.make None;
                     by_subject = Atomic.make None;
@@ -754,7 +982,15 @@ let load file =
                   }
               done;
               if !check <> total then raise (Corrupt "fact count mismatch");
-              Ok { dict; concepts; roles; total_facts = total; segment_rows }
+              Ok
+                {
+                  dict;
+                  concepts;
+                  roles;
+                  total_facts = total;
+                  segment_rows;
+                  delta_rows = default_delta_rows;
+                }
             with
             | Corrupt msg -> Error (Printf.sprintf "%s: corrupt store (%s)" file msg)
             | End_of_file -> Error (Printf.sprintf "%s: corrupt store (truncated)" file)

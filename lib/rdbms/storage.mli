@@ -93,8 +93,51 @@ val role_colstores : t -> string -> (Colstore.t * Colstore.t) option
 
 val role_eq_zone_rows : t -> string -> [ `Subject | `Object ] -> int -> int option
 (** Zone-map upper estimate of the rows whose [side] column equals a
-    code ({!Colstore.eq_rows_est}); [Some 0] means the code provably
+    code ({!Colstore.eq_rows_est}), plus the exact count of matching
+    rows in the pending delta tail; [Some 0] means the code provably
     does not occur, [None] an absent role. *)
+
+(** {2 Delta tails}
+
+    Inserts do not rebuild segments: they append to a small unsorted
+    per-table tail, disjoint from the encoded segments by construction
+    (duplicates are rejected at insert time against the hash indexes).
+    Decoded views and indexes always present the merged table; scan
+    operators that stream raw segments must additionally read the tail
+    ({!concept_tail} / {!role_tail}) as a final mini-segment. Once a
+    tail reaches {!delta_rows} entries the table is compacted back
+    into proper FOR/bit-packed segments. *)
+
+val default_delta_rows : int
+
+val delta_rows : t -> int
+(** The per-table tail length that triggers a compaction (default
+    {!default_delta_rows}). *)
+
+val set_delta_rows : t -> int -> unit
+(** Sets the compaction trigger (clamped to at least 1). Lowering it
+    does not retroactively compact; call {!compact}. *)
+
+val concept_tail : t -> string -> int array
+(** The concept's pending (unsorted, duplicate-free) inserted codes —
+    rows present in no segment yet. A fresh copy; [[||]] when none. *)
+
+val role_tail : t -> string -> int array * int array
+(** The role's pending inserted (subjects, objects), parallel arrays in
+    insertion order. Fresh copies; [([||], [||])] when none. *)
+
+val touched_predicates : t -> string list
+(** Sorted names of the tables currently holding a non-empty delta
+    tail — the predicates whose segment set does not yet reflect every
+    stored fact. *)
+
+val delta_fact_count : t -> int
+(** Total pending tail rows across all tables. *)
+
+val compact : t -> unit
+(** Merges every pending tail into freshly encoded segments (a linear
+    merge per touched table, no full re-sort) and empties the tails.
+    Not concurrent with query evaluation, like [insert_*]. *)
 
 val column_bytes : t -> int
 (** Encoded footprint of all stored columns (segment payload words
@@ -106,9 +149,15 @@ val flat_bytes : t -> int
 
 (** {2 Incremental maintenance}
 
-    Insertions keep tables deduplicated and update the lazy indexes and
-    statistics in place, so a loaded database can absorb new facts
-    without a reload. *)
+    Insertions keep tables deduplicated and update the live hash
+    indexes and statistics in place, so a loaded database absorbs new
+    facts without a reload. An accepted insert is O(1) amortised: a
+    hash-index duplicate probe (the index is forced on first insert,
+    then maintained), a delta-tail push, and lazy invalidation of the
+    decoded views — never a per-fact segment rebuild. Index buckets
+    are maintained in sorted (subject, object) position, so an
+    incrementally-grown store and one built from scratch on the final
+    facts expose identical indexes, bucket order included. *)
 
 val insert_concept : t -> concept:string -> ind:string -> bool
 (** Asserts [concept(ind)]; returns [false] when the fact was already
@@ -155,7 +204,9 @@ end
     store is O(dictionary + segments), not O(rows). *)
 
 val save : t -> string -> unit
-(** Writes the store to [file] (overwriting it). *)
+(** Writes the store to [file] (overwriting it). Pending delta tails
+    are {!compact}ed first — the format stores only encoded segments,
+    so saving never drops an inserted fact. *)
 
 val load : string -> (t, string) result
 (** Opens a saved store. Any structural violation — bad magic, wrong

@@ -377,10 +377,21 @@ let run_explain t s ~id ~cq ~strategy ~analyze =
   Atomic.incr s.s_ok;
   send s reply
 
+(* How long the exclusive write lock is held per UPDATE request. With
+   delta-buffered storage this is O(pending delta) per insert, not
+   O(table): the readers it stalls are blocked for the duration, so it
+   is the server-side number the incremental-update path exists to
+   shrink. *)
+let m_update_lock_ms =
+  Obs.Metrics.histogram ~help:"UPDATE write-lock hold time (ms)"
+    "server.update.lock_ms"
+
 let run_update t s ~id ~inserts =
   let accepted = ref 0 and duplicates = ref 0 in
+  let lock_t0 = ref 0L in
   let generation =
     write_locked t.rw (fun () ->
+        lock_t0 := Obs.Mclock.now_ns ();
         List.iter
           (fun ins ->
             let fresh =
@@ -392,7 +403,10 @@ let run_update t s ~id ~inserts =
             in
             if fresh then incr accepted else incr duplicates)
           inserts;
-        Obda.generation t.engine)
+        let g = Obda.generation t.engine in
+        Obs.Metrics.observe m_update_lock_ms
+          (Int64.to_float (Obs.Mclock.elapsed_ns ~since:!lock_t0) /. 1e6);
+        g)
   in
   job_done t ~ok:true;
   Atomic.incr s.s_ok;

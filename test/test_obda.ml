@@ -154,9 +154,17 @@ let test_updates_invalidate_views () =
   let engine = Obda.make_engine `Pglite `Simple (example7_abox ()) in
   Obda.enable_fragment_views engine;
   ignore (Obda.answers_exn engine example7_tbox Obda.Croot example7_query);
-  check_bool "views populated" true (Obda.fragment_view_count engine > 0);
+  let populated = Obda.fragment_view_count engine in
+  check_bool "views populated" true (populated > 0);
+  (* invalidation is predicate-scoped: an insert on a predicate no
+     fragment reads keeps every view warm ... *)
+  ignore (Obda.insert_concept engine ~concept:"Unrelated" ~ind:"Eve");
+  Alcotest.(check int) "untouched predicate keeps views" populated
+    (Obda.fragment_view_count engine);
+  (* ... while an insert on a predicate the fragments read drops them *)
   ignore (Obda.insert_concept engine ~concept:"Graduate" ~ind:"Eve");
-  Alcotest.(check int) "views dropped" 0 (Obda.fragment_view_count engine);
+  check_bool "touched fragments dropped" true
+    (Obda.fragment_view_count engine < populated);
   (* and the new certain answer appears even through re-materialised views *)
   let answers = Obda.answers_exn engine example7_tbox Obda.Croot example7_query in
   check_bool "stale views not reused" true (List.mem [ "Eve" ] answers = false);
@@ -208,6 +216,102 @@ let test_plan_cache_invalidation () =
     (answers_of before <> answers_of after);
   check_bool "new fact visible" true (List.mem [ "Eve" ] (answers_of after))
 
+(* Invalidation is strategy-scoped: data-independent plans (functions
+   of TBox and query alone) survive updates; cost-based plans are
+   recomputed because their cover optimised against stale statistics. *)
+let test_plan_cache_update_scoping () =
+  Obda.clear_plan_cache ();
+  let engine = Obda.make_engine `Pglite `Simple (example1_abox ()) in
+  ignore (Obda.answer engine example1_tbox Obda.Ucq example3_query);
+  ignore (Obda.answer engine example1_tbox (Obda.Gdl Obda.Ext_cost) example3_query);
+  ignore (Obda.insert_role engine ~role:"supervisedBy" ~subj:"Zed" ~obj:"Ioana");
+  let ucq = Obda.answer engine example1_tbox Obda.Ucq example3_query in
+  check_bool "data-independent plan survives the update" true ucq.Obda.plan_cached;
+  let gdl = Obda.answer engine example1_tbox (Obda.Gdl Obda.Ext_cost) example3_query in
+  check_bool "cost-based plan recomputed after the update" false gdl.Obda.plan_cached;
+  (* the surviving plan still sees the new data and both agree *)
+  check_bool "new answer through the cached plan" true
+    (List.mem [ "Zed" ] (answers_of ucq));
+  check_bool "strategies agree post-update" true (answers_of ucq = answers_of gdl)
+
+(* The qcheck property behind the incremental-update path: an engine
+   grown by a random interleaved insert script answers every query
+   identically (row order included) to an engine built fresh from the
+   final fact set — across layouts, strategies, SIP on/off, live
+   fragment views and random delta-merge boundaries. Interleaved
+   queries keep the view store warm mid-script, so a stale fragment or
+   a tail fact missed by a segmented scan would surface as a
+   divergence. *)
+let qcheck_grown_equals_fresh =
+  QCheck2.Test.make ~name:"obda: engine grown by inserts = engine built fresh"
+    ~count:20
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| 0xA11; seed |] in
+      let concepts = [| "PhDStudent"; "Researcher"; "Graduate" |] in
+      let roles = [| "supervisedBy"; "worksWith" |] in
+      let inds = Array.init 10 (Printf.sprintf "i%d") in
+      let pick a = a.(Random.State.int st (Array.length a)) in
+      let random_fact () =
+        if Random.State.bool st then `C (pick concepts, pick inds)
+        else `R (pick roles, pick inds, pick inds)
+      in
+      let base = List.init (Random.State.int st 15) (fun _ -> random_fact ()) in
+      let script = List.init (1 + Random.State.int st 25) (fun _ -> random_fact ()) in
+      let abox_of facts =
+        let a = Dllite.Abox.create () in
+        List.iter
+          (function
+            | `C (concept, ind) -> Dllite.Abox.add_concept a ~concept ~ind
+            | `R (role, subj, obj) -> Dllite.Abox.add_role a ~role ~subj ~obj)
+          facts;
+        a
+      in
+      let queries =
+        [
+          example3_query;
+          Query.Cq.make ~head:[ v "x"; v "y" ]
+            ~body:[ ra "worksWith" (v "x") (v "y") ] ();
+          Query.Cq.make ~head:[ v "x" ]
+            ~body:[ ca "Researcher" (v "x"); ra "supervisedBy" (v "x") (v "y") ] ();
+        ]
+      in
+      List.for_all
+        (fun lk ->
+          let grown = Obda.make_engine `Pglite lk (abox_of base) in
+          (match Obda.layout grown with
+          | Rdbms.Layout.Simple s ->
+            (* tiny threshold: the script crosses merge boundaries *)
+            Rdbms.Storage.set_delta_rows s (1 + Random.State.int st 4)
+          | Rdbms.Layout.Rdf _ -> ());
+          Obda.enable_fragment_views grown;
+          List.iter
+            (fun fact ->
+              (match fact with
+              | `C (concept, ind) -> ignore (Obda.insert_concept grown ~concept ~ind)
+              | `R (role, subj, obj) ->
+                ignore (Obda.insert_role grown ~role ~subj ~obj));
+              if Random.State.int st 3 = 0 then
+                ignore
+                  (Obda.answers_exn grown example1_tbox Obda.Croot
+                     (List.nth queries (Random.State.int st 3))))
+            script;
+          let fresh = Obda.make_engine `Pglite lk (abox_of (base @ script)) in
+          List.for_all
+            (fun strategy ->
+              List.for_all
+                (fun sip ->
+                  Obda.set_sip grown sip;
+                  Obda.set_sip fresh sip;
+                  List.for_all
+                    (fun q ->
+                      Obda.answers_exn grown example1_tbox strategy q
+                      = Obda.answers_exn fresh example1_tbox strategy q)
+                    queries)
+                [ true; false ])
+            [ Obda.Ucq; Obda.Croot; Obda.Gdl Obda.Ext_cost ])
+        [ `Simple; `Rdf ])
+
 (* Under eviction pressure (capacity 1, two queries round-robin) the
    plan cache must stay answer-equivalent to uncached evaluation. *)
 let test_plan_cache_eviction_equivalence () =
@@ -258,6 +362,9 @@ let suite =
     Alcotest.test_case "updates invalidate views" `Quick test_updates_invalidate_views;
     Alcotest.test_case "plan cache hit" `Quick test_plan_cache_hit;
     Alcotest.test_case "plan cache invalidation" `Quick test_plan_cache_invalidation;
+    Alcotest.test_case "plan cache update scoping" `Quick
+      test_plan_cache_update_scoping;
+    QCheck_alcotest.to_alcotest qcheck_grown_equals_fresh;
     Alcotest.test_case "plan cache eviction equivalence" `Quick
       test_plan_cache_eviction_equivalence;
     Alcotest.test_case "inconsistent kb detected" `Quick test_inconsistent_kb_detected;

@@ -242,6 +242,144 @@ let test_builder_matches_of_abox () =
   check_int "builder count agrees" emitted (Storage.Builder.assertion_count b);
   same_storage (Storage.of_abox abox) (Storage.Builder.finish b)
 
+(* {1 Delta tails} *)
+
+let test_delta_tail_visibility () =
+  let abox = Dllite.Abox.create () in
+  Dllite.Abox.add_concept abox ~concept:"C" ~ind:"a";
+  Dllite.Abox.add_role abox ~role:"R" ~subj:"a" ~obj:"b";
+  let s = Storage.of_abox abox in
+  Storage.set_delta_rows s 100 (* keep everything in the tails *);
+  check_bool "no pending deltas at load" true (Storage.touched_predicates s = []);
+  check_bool "c insert" true (Storage.insert_concept s ~concept:"C" ~ind:"z");
+  check_bool "r insert" true (Storage.insert_role s ~role:"R" ~subj:"z" ~obj:"a");
+  Alcotest.(check (list string))
+    "touched predicates reported" [ "C"; "R" ] (Storage.touched_predicates s);
+  check_int "pending facts counted" 2 (Storage.delta_fact_count s);
+  check_int "concept tail holds the insert" 1
+    (Array.length (Storage.concept_tail s "C"));
+  check_int "role tail holds the insert" 1
+    (Array.length (fst (Storage.role_tail s "R")));
+  let code n = Option.get (Dllite.Dict.find (Storage.dict s) n) in
+  (* every decoded view and index sees through the tail *)
+  check_bool "membership" true (Storage.concept_mem s "C" (code "z"));
+  check_bool "decoded members sorted" true
+    (let m = Storage.concept_rows s "C" in
+     Array.length m = 2 && m.(0) < m.(1));
+  check_bool "role rows merged" true
+    (Array.exists (fun p -> p = (code "z", code "a")) (Storage.role_rows s "R"));
+  check_bool "subject probe sees tail fact" true
+    (Storage.role_lookup_subject_arr s "R" (code "z") = [| code "z", code "a" |]);
+  check_int "stats count tail rows" 2 (Storage.role_stats s "R").Storage.card;
+  (* compaction folds the tails into segments without changing views *)
+  let members = Storage.concept_rows s "C" and pairs = Storage.role_rows s "R" in
+  Storage.compact s;
+  check_bool "tails drained" true
+    (Storage.touched_predicates s = [] && Storage.delta_fact_count s = 0);
+  check_arr "members unchanged" members (Storage.concept_rows s "C");
+  check_bool "pairs unchanged" true (pairs = Storage.role_rows s "R")
+
+let test_delta_merge_boundary () =
+  (* crossing the delta_rows threshold compacts automatically, and the
+     store equals one built from scratch on the final facts *)
+  let s = Storage.of_abox (Dllite.Abox.create ()) in
+  Storage.set_delta_rows s 4;
+  let final = Dllite.Abox.create () in
+  for i = 0 to 9 do
+    let ind = Printf.sprintf "i%02d" i in
+    check_bool "accepted" true (Storage.insert_concept s ~concept:"C" ~ind);
+    check_bool "rejected dup" false (Storage.insert_concept s ~concept:"C" ~ind);
+    Dllite.Abox.add_concept final ~concept:"C" ~ind
+  done;
+  check_bool "auto-compaction bounded the tail" true
+    (Storage.delta_fact_count s < 4);
+  let decode st arr =
+    Array.to_list (Array.map (Dllite.Dict.decode (Storage.dict st)) arr)
+  in
+  Alcotest.(check (list string))
+    "grown = fresh"
+    (decode s (Storage.concept_rows s "C"))
+    (let f = Storage.of_abox final in
+     decode f (Storage.concept_rows f "C"))
+
+let test_incremental_index_order_matches_fresh () =
+  (* satellite: the incrementally-maintained subject/object buckets
+     keep the same (sorted) order a from-scratch index build produces,
+     so the two stores are indistinguishable, row order included *)
+  let seed = 23 in
+  let abox = Lubm.Generator.generate ~seed ~target_facts:1_500 () in
+  let grown = Storage.of_abox abox in
+  Storage.set_delta_rows grown 7;
+  let extra =
+    [ "advisor", "zz1", "zz0"; "advisor", "zz0", "zz1"; "advisor", "aa0", "zz1";
+      "takesCourse", "zz1", "c0"; "takesCourse", "aa0", "c0" ]
+  in
+  List.iter
+    (fun (role, subj, obj) ->
+      check_bool "accepted" true (Storage.insert_role grown ~role ~subj ~obj))
+    extra;
+  let final = Lubm.Generator.generate ~seed ~target_facts:1_500 () in
+  List.iter
+    (fun (role, subj, obj) -> Dllite.Abox.add_role final ~role ~subj ~obj)
+    extra;
+  let fresh = Storage.of_abox final in
+  (* all comparisons go through each store's own dictionary: the grown
+     store encodes the extra individuals at insert time, the fresh one
+     during load, so raw codes need not coincide *)
+  let dec st a =
+    Array.map
+      (fun (x, y) ->
+        ( Dllite.Dict.decode (Storage.dict st) x,
+          Dllite.Dict.decode (Storage.dict st) y ))
+      a
+  in
+  List.iter
+    (fun n ->
+      check_bool ("rows of " ^ n) true
+        (dec grown (Storage.role_rows grown n) = dec fresh (Storage.role_rows fresh n));
+      Array.iter
+        (fun (s, _) ->
+          let subj = Dllite.Dict.decode (Storage.dict grown) s in
+          let s' = Option.get (Dllite.Dict.find (Storage.dict fresh) subj) in
+          check_bool ("bucket of " ^ subj) true
+            (dec grown (Storage.role_lookup_subject_arr grown n s)
+            = dec fresh (Storage.role_lookup_subject_arr fresh n s')))
+        (Storage.role_rows grown n))
+    [ "advisor"; "takesCourse" ]
+
+let test_tail_aware_zone_rows () =
+  (* an insert outside every segment's range must flip the zone
+     estimate from "provably absent" to at least the tail count *)
+  let abox = Dllite.Abox.create () in
+  for i = 0 to 63 do
+    Dllite.Abox.add_role abox ~role:"R" ~subj:(Printf.sprintf "s%03d" i)
+      ~obj:(Printf.sprintf "o%03d" i)
+  done;
+  let s = Storage.of_abox ~segment_rows:16 abox in
+  Storage.set_delta_rows s 100;
+  check_bool "fresh individual insert" true
+    (Storage.insert_role s ~role:"R" ~subj:"zzz" ~obj:"zzz");
+  let code = Option.get (Dllite.Dict.find (Storage.dict s) "zzz") in
+  (match Storage.role_eq_zone_rows s "R" `Subject code with
+  | Some n -> check_bool "tail fact counted" true (n >= 1)
+  | None -> Alcotest.fail "role exists");
+  Storage.compact s;
+  match Storage.role_eq_zone_rows s "R" `Subject code with
+  | Some n -> check_bool "still visible after compaction" true (n >= 1)
+  | None -> Alcotest.fail "role exists after compaction"
+
+let test_save_compacts_deltas () =
+  let abox = Lubm.Generator.generate ~seed:13 ~target_facts:1_000 () in
+  let s = Storage.of_abox ~segment_rows:128 abox in
+  Storage.set_delta_rows s 1_000;
+  check_bool "insert" true (Storage.insert_role s ~role:"advisor" ~subj:"nu" ~obj:"mu");
+  check_bool "insert" true (Storage.insert_concept s ~concept:"Course" ~ind:"nc");
+  check_bool "deltas pending" true (Storage.delta_fact_count s > 0);
+  with_temp_store (fun file ->
+      Storage.save s file;
+      check_int "save compacted the live store" 0 (Storage.delta_fact_count s);
+      same_storage s (Storage.load_exn file))
+
 (* {1 Footprint} *)
 
 let test_compression_ratio () =
@@ -259,6 +397,16 @@ let suite =
     Alcotest.test_case "scan: zone maps skip segments" `Quick
       test_zone_pruned_scan_skips;
     QCheck_alcotest.to_alcotest qcheck_zone_pruning_preserves_answers;
+    Alcotest.test_case "delta: tail facts visible everywhere" `Quick
+      test_delta_tail_visibility;
+    Alcotest.test_case "delta: merge boundary equals fresh build" `Quick
+      test_delta_merge_boundary;
+    Alcotest.test_case "delta: incremental index order = fresh" `Quick
+      test_incremental_index_order_matches_fresh;
+    Alcotest.test_case "delta: zone estimate counts tail" `Quick
+      test_tail_aware_zone_rows;
+    Alcotest.test_case "delta: save compacts pending tails" `Quick
+      test_save_compacts_deltas;
     Alcotest.test_case "store: save/load round-trip" `Quick test_save_load_roundtrip;
     Alcotest.test_case "store: loaded store absorbs inserts" `Quick
       test_load_after_insert;
