@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test doc bench-smoke bench-replay bench-engine bench-sip bench-storage bench-server bench-updates bench ci clean
+.PHONY: all build test doc bench-smoke bench-replay bench-engine bench-sip bench-storage bench-server bench-updates bench-reform bench ci clean
 
 all: build
 
@@ -80,11 +80,22 @@ bench-updates: build
 	$(DUNE) exec bench/main.exe -- --exp updates --small 5000 --large 100000 \
 	  --json BENCH_PR8.json
 
+# The E20 reformulation experiment: per-query reformulation +
+# cover-search time, cold through the naive oracles (raw fixpoint,
+# full pairwise minimisation, dep tests from scratch) vs cold through
+# the specialisation index and the union-find relation store, vs fully
+# warm, recorded to BENCH_PR9.json. Fails if the two paths' UCQs,
+# covers or engine answers diverge, if Q6 is below the 2x floor, or if
+# fewer than two of Q9-Q11 reach it.
+bench-reform: build
+	$(DUNE) exec bench/main.exe -- --exp reform --small 5000 \
+	  --json BENCH_PR9.json
+
 # The full benchmark suite at the default (sequential) job count.
 bench: build
 	$(DUNE) exec bench/main.exe
 
-ci: test doc bench-smoke bench-replay bench-engine bench-sip bench-storage bench-server bench-updates
+ci: test doc bench-smoke bench-replay bench-engine bench-sip bench-storage bench-server bench-updates bench-reform
 
 clean:
 	$(DUNE) clean

@@ -430,11 +430,26 @@ let explain_cmd =
       Fmt.pr "rdbms cost   : %.0f@." (est.Optimizer.Estimator.estimate fol);
       Fmt.pr "ext cost     : %.0f@." (ext.Optimizer.Estimator.estimate fol);
       Fmt.pr "sql bytes    : %d@." (Sql.Sql_ast.length sql);
-      let root = Covers.Safety.root_cover tbox q in
+      let store = Reform.Relstore.of_tbox tbox in
+      let root = Covers.Safety.root_cover ~store tbox q in
       Fmt.pr "root cover   : %a@." Covers.Cover.pp root;
       if trace then begin
         Fmt.pr "@.== cover-search trace (%d events) ==@." (List.length events);
-        List.iter (fun e -> Fmt.pr "%a@." Obs.Trace.pp_event e) events
+        List.iter (fun e -> Fmt.pr "%a@." Obs.Trace.pp_event e) events;
+        Fmt.pr "@.== reformulation metrics (reform.*) ==@.";
+        List.iter
+          (fun name ->
+            Option.iter
+              (fun c -> Fmt.pr "%-32s %d@." name (Obs.Metrics.counter_value c))
+              (Obs.Metrics.find_counter name))
+          [
+            "reform.relstore.unions"; "reform.relstore.finds";
+            "reform.relstore.dep_fastpath"; "reform.relstore.dep_exact";
+            "reform.dedup_hits"; "reform.containment.checks";
+            "reform.containment.skipped"; "reform.containment.memo_hits";
+            "reform.fixpoint.iterations"; "reform.cq.generated";
+            "reform.cache.requests"; "reform.cache.hits";
+          ]
       end;
       (match stats with
        | Some s ->
@@ -465,7 +480,7 @@ let covers_cmd =
     let tbox, abox = load_kb rdf tbox_file data facts seed in
     let engine = Obda.make_engine `Pglite `Simple abox in
     let q = find_query ~inline qname in
-    let root = Covers.Safety.root_cover tbox q in
+    let root = Covers.Safety.root_cover ~store:(Reform.Relstore.of_tbox tbox) tbox q in
     Fmt.pr "root cover           : %a@." Covers.Cover.pp root;
     let lq = Covers.Safety.safe_cover_count ~max_count:20_000 tbox q in
     Fmt.pr "|Lq| (cap 20000)     : %d@." lq;

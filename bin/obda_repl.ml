@@ -94,7 +94,7 @@ let run_ask st text =
 let run_explain st text =
   let q = parse_query st text in
   let fol = Obda.reformulate st.engine st.tbox st.strategy q in
-  let root = Covers.Safety.root_cover st.tbox q in
+  let root = Covers.Safety.root_cover ~store:(Reform.Relstore.of_tbox st.tbox) st.tbox q in
   Fmt.pr "root cover : %a@." Covers.Cover.pp root;
   Fmt.pr "cq count   : %d@." (Query.Fol.cq_count fol);
   Fmt.pr "rdbms cost : %.0f@."

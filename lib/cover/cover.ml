@@ -86,6 +86,44 @@ let fragment_connected c f =
 
 let all_fragments_connected c = List.for_all (fragment_connected c) c.fragments
 
+(* Precomputed variable-sharing adjacency: [adjacency q] pays the
+   pairwise [Atom.shares_var] term-set tests once, after which every
+   connectivity probe over any fragment of [q] is set lookups only.
+   The enumeration paths (safe-cover partitions, connected supersets)
+   run thousands of such probes per query. *)
+let adjacency q =
+  let atoms = Array.of_list (Cq.atoms q) in
+  let n = Array.length atoms in
+  Array.init n (fun i ->
+      let s = ref Iset.empty in
+      for j = 0 to n - 1 do
+        if j <> i && Atom.shares_var atoms.(i) atoms.(j) then s := Iset.add j !s
+      done;
+      !s)
+
+(* Same BFS as {!fragment_connected}, over the precomputed adjacency. *)
+let fragment_connected_adj adj f =
+  match Iset.elements f with
+  | [] -> false
+  | [ _ ] -> true
+  | first :: _ ->
+    let seen = ref (Iset.singleton first) in
+    let rec grow = function
+      | [] -> ()
+      | i :: rest ->
+        let next = ref rest in
+        Iset.iter
+          (fun j ->
+            if Iset.mem j f && not (Iset.mem j !seen) then begin
+              seen := Iset.add j !seen;
+              next := j :: !next
+            end)
+          adj.(i);
+        grow !next
+    in
+    grow [ first ];
+    Iset.equal !seen f
+
 (* Definition 2: free variables of q in the fragment, plus existential
    variables shared with another fragment. *)
 let fragment_head c f =

@@ -40,6 +40,17 @@ val fragment_connected : t -> fragment -> bool
 
 val all_fragments_connected : t -> bool
 
+val adjacency : Query.Cq.t -> Iset.t array
+(** [adjacency q] precomputes the variable-sharing atom graph:
+    entry [i] is the set of atom indexes sharing a variable with atom
+    [i]. Pays the pairwise term-set tests once so that repeated
+    connectivity probes (safe-cover enumeration, connected supersets)
+    are set lookups. *)
+
+val fragment_connected_adj : Iset.t array -> fragment -> bool
+(** {!fragment_connected} over a precomputed {!adjacency} — same
+    verdict, no per-call [Atom.shares_var] work. *)
+
 val fragment_query : t -> fragment -> Query.Cq.t
 (** The fragment query [q|fi] (Definition 2): body = atoms of the
     fragment; head = free variables of the query occurring in the

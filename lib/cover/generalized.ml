@@ -85,8 +85,8 @@ let connected_set atoms set =
     grow [ first ];
     Iset.equal !seen set
 
-let in_gq tbox t =
-  Safety.is_safe tbox (base_cover t)
+let in_gq ?store tbox t =
+  Safety.is_safe ?store tbox (base_cover t)
   &&
   let atoms = atom_array t in
   List.for_all (fun { f; _ } -> connected_set atoms f) t.fragments
@@ -161,8 +161,10 @@ let enlarge t gf i =
   let rest = remove_fragment t.fragments gf in
   of_gfragments t.query ({ gf with f = Iset.add i gf.f } :: rest)
 
-(* All connected supersets of [g] within the query atoms. *)
-let connected_supersets atoms n g =
+(* All connected supersets of [g] within the query atoms. [adj] is the
+   precomputed variable-sharing graph ({!Cover.adjacency}). *)
+let connected_supersets adj n g =
+  let touches current j = not (Iset.disjoint adj.(j) current) in
   let results = ref [] in
   let rec extend current candidates =
     results := current :: !results;
@@ -177,7 +179,7 @@ let connected_supersets atoms n g =
               (fun j ->
                 (not (Iset.mem j current'))
                 && (not (List.mem j rest))
-                && Iset.exists (fun l -> Atom.shares_var atoms.(j) atoms.(l)) current')
+                && touches current' j)
               (List.init n Fun.id)
         in
         let new_candidates = List.sort_uniq Stdlib.compare new_candidates in
@@ -186,18 +188,16 @@ let connected_supersets atoms n g =
   in
   let initial_candidates =
     List.filter
-      (fun i ->
-        (not (Iset.mem i g))
-        && Iset.exists (fun j -> Atom.shares_var atoms.(i) atoms.(j)) g)
+      (fun i -> (not (Iset.mem i g)) && touches g i)
       (List.init n Fun.id)
   in
   extend g initial_candidates;
   List.sort_uniq Iset.compare !results
 
-let enumerate ?(max_count = 20_000) tbox q =
-  let atoms = Array.of_list (Cq.atoms q) in
-  let n = Array.length atoms in
-  let safe = Safety.safe_covers tbox q in
+let enumerate ?(max_count = 20_000) ?store tbox q =
+  let adj = Cover.adjacency q in
+  let n = Cq.atom_count q in
+  let safe = Safety.safe_covers ?store tbox q in
   let results = ref [] and count = ref 0 in
   let seen = Hashtbl.create 256 in
   let record t =
@@ -217,7 +217,7 @@ let enumerate ?(max_count = 20_000) tbox q =
      List.iter
        (fun cover ->
          let gs = Cover.fragments cover in
-         let options = List.map (fun g -> connected_supersets atoms n g) gs in
+         let options = List.map (fun g -> connected_supersets adj n g) gs in
          (* cartesian product over per-core extension choices *)
          let rec product chosen = function
            | [] ->
@@ -234,8 +234,8 @@ let enumerate ?(max_count = 20_000) tbox q =
    with Exit -> ());
   List.rev !results
 
-let gq_count ?(max_count = 20_000) tbox q =
-  let l = enumerate ~max_count tbox q in
+let gq_count ?(max_count = 20_000) ?store tbox q =
+  let l = enumerate ~max_count ?store tbox q in
   let c = List.length l in
   c, c >= max_count
 

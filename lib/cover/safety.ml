@@ -1,34 +1,45 @@
 open Query
 module Iset = Cover.Iset
 
-let dep_overlapping tbox q i j =
+(* All entry points optionally consult the per-TBox relation store
+   ({!Reform.Relstore}): dependency-overlap tests then answer through
+   the union-find class fast path / pair memo instead of intersecting
+   dep sets from scratch. Omitting [store] keeps the original
+   from-scratch path — the differential oracle the store is
+   qcheck-tested against. *)
+
+let overlap_fn ?store tbox =
+  match store with
+  | Some s -> Reform.Relstore.dep_overlap s
+  | None -> Dllite.Tbox.dep_overlap tbox
+
+let dep_overlapping ?store tbox q i j =
   let atoms = Array.of_list (Cq.atoms q) in
-  Dllite.Tbox.dep_overlap tbox
-    (Atom.pred_name atoms.(i))
-    (Atom.pred_name atoms.(j))
+  overlap_fn ?store tbox (Atom.pred_name atoms.(i)) (Atom.pred_name atoms.(j))
 
 (* Union-find over atom indexes, merging dep-overlapping atoms. When a
    dependency-merged fragment is not join-connected (condition (iii) of
    Definition 1 — e.g. Faculty(x) and Student(y) both depend on the
    advisor role without sharing a variable), it is further merged with
    a variable-sharing fragment: coarsening preserves safety. *)
-let root_cover tbox q =
-  let n = Cq.atom_count q in
-  let parent = Array.init n Fun.id in
-  let rec find i = if parent.(i) = i then i else find parent.(i) in
-  let union i j =
-    let ri = find i and rj = find j in
-    if ri <> rj then parent.(ri) <- rj
-  in
+let root_cover ?store tbox q =
+  let atoms = Array.of_list (Cq.atoms q) in
+  let n = Array.length atoms in
+  let overlap = overlap_fn ?store tbox in
+  let uf = Unionfind.create ~capacity:(max n 1) () in
+  for _ = 1 to n do
+    ignore (Unionfind.make uf)
+  done;
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
-      if dep_overlapping tbox q i j then union i j
+      if overlap (Atom.pred_name atoms.(i)) (Atom.pred_name atoms.(j)) then
+        ignore (Unionfind.union uf i j)
     done
   done;
   let groups () =
     let tbl = Hashtbl.create 8 in
     for i = 0 to n - 1 do
-      let r = find i in
+      let r = Unionfind.find uf i in
       let cur = Option.value ~default:Iset.empty (Hashtbl.find_opt tbl r) in
       Hashtbl.replace tbl r (Iset.add i cur)
     done;
@@ -45,24 +56,27 @@ let root_cover tbox q =
     match disconnected with
     | None -> cover
     | Some f ->
-      let atoms = Array.of_list (Cq.atoms q) in
       let shares_var_with_f j =
         (not (Iset.mem j f))
         && Iset.exists (fun i -> Atom.shares_var atoms.(i) atoms.(j)) f
       in
       (match List.find_opt shares_var_with_f (List.init n Fun.id) with
-      | Some j -> union (Iset.min_elt f) j; connect ()
+      | Some j ->
+        ignore (Unionfind.union uf (Iset.min_elt f) j);
+        connect ()
       | None ->
         (* the query itself is disconnected; leave the cover as is *)
         cover)
   in
   connect ()
 
-let is_safe tbox cover =
+let is_safe ?store tbox cover =
   Cover.is_partition cover
   &&
   let q = cover.Cover.query in
-  let n = Cq.atom_count q in
+  let atoms = Array.of_list (Cq.atoms q) in
+  let n = Array.length atoms in
+  let overlap = overlap_fn ?store tbox in
   let fragment_of = Array.make n (-1) in
   List.iteri
     (fun k f -> Iset.iter (fun i -> fragment_of.(i) <- k) f)
@@ -70,8 +84,10 @@ let is_safe tbox cover =
   let ok = ref true in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
-      if fragment_of.(i) <> fragment_of.(j) && dep_overlapping tbox q i j then
-        ok := false
+      if
+        fragment_of.(i) <> fragment_of.(j)
+        && overlap (Atom.pred_name atoms.(i)) (Atom.pred_name atoms.(j))
+      then ok := false
     done
   done;
   !ok
@@ -107,15 +123,14 @@ let partitions_of_blocks ?max_count ~keep blocks =
   place [] blocks;
   List.rev !results
 
-let safe_covers ?max_count tbox q =
-  let root = root_cover tbox q in
+let safe_covers ?max_count ?store tbox q =
+  let root = root_cover ?store tbox q in
   let blocks = Cover.fragments root in
   (* Definition 1 (iii): keep only partitions whose fragments are
-     join-connected (a union of root fragments need not be). *)
-  let keep groups =
-    let c = Cover.of_fragments q groups in
-    Cover.all_fragments_connected c
-  in
+     join-connected (a union of root fragments need not be). The
+     adjacency graph is shared across the whole enumeration. *)
+  let adj = Cover.adjacency q in
+  let keep groups = List.for_all (Cover.fragment_connected_adj adj) groups in
   let parts = partitions_of_blocks ?max_count ~keep blocks in
   let covers = List.map (fun groups -> Cover.of_fragments q groups) parts in
   (* Put the root cover first; it is the starting point of the search
@@ -127,8 +142,8 @@ let safe_covers ?max_count tbox q =
   | Some m -> List.filteri (fun i _ -> i < m) root_first
   | None -> root_first
 
-let safe_cover_count ?max_count tbox q =
-  List.length (safe_covers ?max_count tbox q)
+let safe_cover_count ?max_count ?store tbox q =
+  List.length (safe_covers ?max_count ?store tbox q)
 
 let merge_fragments cover f1 f2 =
   let fs = Cover.fragments cover in

@@ -151,7 +151,8 @@ let compute_plan e tbox strategy q =
   | Ucq -> Covers.Reformulate.ucq tbox q, None
   | Uscq -> Reform.Uscq_reform.reformulate tbox q, None
   | Croot ->
-    Covers.Reformulate.of_cover tbox (Covers.Safety.root_cover tbox q), None
+    let store = Reform.Relstore.of_tbox tbox in
+    Covers.Reformulate.of_cover tbox (Covers.Safety.root_cover ~store tbox q), None
   | Gdl src ->
     let r = Optimizer.Gdl.search tbox (estimator e src) q in
     r.Optimizer.Gdl.reformulation, Some r.Optimizer.Gdl.cover

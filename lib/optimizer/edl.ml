@@ -22,7 +22,10 @@ let search ?(max_covers = 20_000) ?(language = Reformulate.Ucq_fragments) ?jobs
      report a negative search_time. *)
   let t0 = Obs.Mclock.now_ns () in
   Obs.Metrics.incr m_searches;
-  let covers = Generalized.enumerate ~max_count:max_covers tbox q in
+  (* One relation store per TBox: every dep-overlap test of the
+     enumeration answers through its dependency classes. *)
+  let store = Reform.Relstore.of_tbox tbox in
+  let covers = Generalized.enumerate ~max_count:max_covers ~store tbox q in
   let examined = List.length covers in
   Obs.Metrics.add m_examined examined;
   (* Reformulating and cost-estimating a cover touches no search

@@ -172,7 +172,10 @@ let search ?time_budget ?(space = `Gq) ?(language = Reformulate.Ucq_fragments) ?
           time_budget;
     }
   in
-  let start = Generalized.of_cover (Safety.root_cover tbox q) in
+  let start =
+    Generalized.of_cover
+      (Safety.root_cover ~store:(Reform.Relstore.of_tbox tbox) tbox q)
+  in
   let rec loop cover cost moves =
     if out_of_time st then cover, cost, moves, true
     else begin

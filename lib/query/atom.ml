@@ -41,14 +41,20 @@ let pp ppf = function
 
 let to_string a = Fmt.str "%a" pp a
 
+(* Unification runs on the union-find unifier: term pairs union their
+   classes (constant conflicts abort) and the accumulated triangular
+   substitution is read back at the end — the result is identical to
+   folding [Subst.unify_terms] over the term pairs. *)
 let unify a1 a2 =
   match a1, a2 with
   | Ca (p1, t1), Ca (p2, t2) when String.equal p1 p2 ->
-    Subst.unify_terms t1 t2 Subst.empty
-  | Ra (p1, s1, o1), Ra (p2, s2, o2) when String.equal p1 p2 -> (
-    match Subst.unify_terms s1 s2 Subst.empty with
-    | None -> None
-    | Some s -> Subst.unify_terms o1 o2 s)
+    let u = Subst.Unifier.create () in
+    if Subst.Unifier.unify u t1 t2 then Some (Subst.Unifier.to_subst u) else None
+  | Ra (p1, s1, o1), Ra (p2, s2, o2) when String.equal p1 p2 ->
+    let u = Subst.Unifier.create () in
+    if Subst.Unifier.unify u s1 s2 && Subst.Unifier.unify u o1 o2 then
+      Some (Subst.Unifier.to_subst u)
+    else None
   | _ -> None
 
 let shares_var a1 a2 = not (Term.Set.disjoint (vars a1) (vars a2))

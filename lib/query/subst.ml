@@ -2,6 +2,8 @@ module SMap = Map.Make (String)
 
 type t = Term.t SMap.t
 
+type subst = t
+
 let empty = SMap.empty
 
 let is_empty = SMap.is_empty
@@ -41,3 +43,135 @@ let unify_terms t1 t2 s =
   | Term.Cst c1, Term.Cst c2 -> if String.equal c1 c2 then Some s else None
   | Term.Var v, t | t, Term.Var v ->
     if Term.equal (Term.Var v) t then Some s else Some (SMap.add v t s)
+
+(* Union-find unifier: terms are interned as union-find nodes and each
+   class carries a representative term (a constant when the class
+   contains one). Unifying two terms unions their classes instead of
+   walking and extending a triangular map; the decisions — which
+   variable binds, to what — mirror [unify_terms] exactly, so
+   [to_subst] reproduces the map the fold over [unify_terms] would
+   have built. *)
+module Unifier = struct
+  type event =
+    | Interned of Term.t
+    | Rep_was of int * Term.t
+
+  type t = {
+    uf : Unionfind.t;
+    nodes : (Term.t, int) Hashtbl.t;
+    rep : (int, Term.t) Hashtbl.t;  (* root -> representative term *)
+    mutable bindings : (string * Term.t) list;  (* newest first *)
+    mutable n_bindings : int;
+    mutable events : event list;
+    mutable ok : bool;
+  }
+
+  type snapshot = {
+    s_uf : Unionfind.snapshot;
+    s_events : event list;
+    s_n_bindings : int;
+    s_ok : bool;
+  }
+
+  let create () =
+    {
+      uf = Unionfind.create ~capacity:8 ();
+      nodes = Hashtbl.create 8;
+      rep = Hashtbl.create 8;
+      bindings = [];
+      n_bindings = 0;
+      events = [];
+      ok = true;
+    }
+
+  let node_of u t =
+    match Hashtbl.find_opt u.nodes t with
+    | Some i -> i
+    | None ->
+      let i = Unionfind.make u.uf in
+      Hashtbl.add u.nodes t i;
+      Hashtbl.replace u.rep i t;
+      u.events <- Interned t :: u.events;
+      i
+
+  let representative u t =
+    match Hashtbl.find_opt u.nodes t with
+    | None -> t
+    | Some i -> Hashtbl.find u.rep (Unionfind.find u.uf i)
+
+  let is_consistent u = u.ok
+
+  let equiv u t1 t2 =
+    match Hashtbl.find_opt u.nodes t1, Hashtbl.find_opt u.nodes t2 with
+    | Some i, Some j -> Unionfind.equiv u.uf i j
+    | _ -> Term.equal t1 t2
+
+  let merge u r1 r2 rep' =
+    ignore (Unionfind.union u.uf r1 r2);
+    let root = Unionfind.find u.uf r1 in
+    u.events <- Rep_was (root, Hashtbl.find u.rep root) :: u.events;
+    Hashtbl.replace u.rep root rep'
+
+  let push_binding u v t' =
+    u.bindings <- (v, t') :: u.bindings;
+    u.n_bindings <- u.n_bindings + 1
+
+  let unify u t1 t2 =
+    u.ok
+    &&
+    let n1 = node_of u t1 and n2 = node_of u t2 in
+    let r1 = Unionfind.find u.uf n1 and r2 = Unionfind.find u.uf n2 in
+    if r1 = r2 then true
+    else
+      let rep1 = Hashtbl.find u.rep r1 and rep2 = Hashtbl.find u.rep r2 in
+      match rep1, rep2 with
+      | Term.Cst c1, Term.Cst c2 ->
+        if String.equal c1 c2 then begin
+          merge u r1 r2 rep1;
+          true
+        end
+        else begin
+          u.ok <- false;
+          false
+        end
+      | Term.Var v, t' | t', Term.Var v ->
+        (* like [unify_terms], the first variable binds to the other
+           side's current value *)
+        push_binding u v t';
+        merge u r1 r2 t';
+        true
+
+  let to_subst u =
+    if not u.ok then invalid_arg "Subst.Unifier.to_subst: inconsistent";
+    List.fold_left (fun s (v, t) -> bind v t s) empty (List.rev u.bindings)
+
+  let snapshot u =
+    {
+      s_uf = Unionfind.snapshot u.uf;
+      s_events = u.events;
+      s_n_bindings = u.n_bindings;
+      s_ok = u.ok;
+    }
+
+  let rollback u s =
+    Unionfind.rollback u.uf s.s_uf;
+    let rec rewind evs =
+      if evs != s.s_events then
+        match evs with
+        | [] -> invalid_arg "Subst.Unifier.rollback: unknown snapshot"
+        | e :: rest ->
+          (match e with
+          | Interned t ->
+            let i = Hashtbl.find u.nodes t in
+            Hashtbl.remove u.nodes t;
+            Hashtbl.remove u.rep i
+          | Rep_was (i, old) -> Hashtbl.replace u.rep i old);
+          rewind rest
+    in
+    rewind u.events;
+    u.events <- s.s_events;
+    let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+    u.bindings <- drop (u.n_bindings - s.s_n_bindings) u.bindings;
+    u.n_bindings <- s.s_n_bindings;
+    u.ok <- s.s_ok
+end

@@ -3,6 +3,10 @@
 
 type t
 
+type subst = t
+(** Alias so {!Unifier} (whose own type shadows [t]) can name the
+    substitution type. *)
+
 val empty : t
 
 val is_empty : t -> bool
@@ -29,3 +33,48 @@ val pp : Format.formatter -> t -> unit
 val unify_terms : Term.t -> Term.t -> t -> t option
 (** [unify_terms t1 t2 s] extends [s] into a unifier of [t1] and [t2],
     or returns [None] when the two terms are not unifiable under [s]. *)
+
+(** Incremental unification on a union-find of terms.
+
+    Terms are interned as {!Unionfind} nodes; each class carries a
+    representative (a constant when the class contains one, detected
+    as a conflict when it would contain two different ones). A
+    sequence of {!Unifier.unify} calls makes the same binding
+    decisions as a fold over {!unify_terms}, so {!Unifier.to_subst}
+    returns exactly the substitution the map-based code path builds —
+    but equivalence queries are O(α) instead of a chain walk, and
+    {!Unifier.snapshot}/{!Unifier.rollback} let a caller explore
+    unification branches without rebuilding the store. *)
+module Unifier : sig
+  type t
+
+  type snapshot
+
+  val create : unit -> t
+
+  val unify : t -> Term.t -> Term.t -> bool
+  (** Union the classes of the two terms. [false] when they cannot be
+      unified (two distinct constants, directly or through earlier
+      unions); the unifier is then inconsistent and every later
+      [unify] returns [false]. *)
+
+  val equiv : t -> Term.t -> Term.t -> bool
+  (** Whether the two terms are in the same class (uninterned terms
+      are equivalent only to themselves). *)
+
+  val representative : t -> Term.t -> Term.t
+  (** Current representative of the term's class: what
+      {!Subst.apply} of the accumulated substitution would return. *)
+
+  val is_consistent : t -> bool
+
+  val to_subst : t -> subst
+  (** The accumulated triangular substitution. Raises
+      [Invalid_argument] when the unifier is inconsistent. *)
+
+  val snapshot : t -> snapshot
+
+  val rollback : t -> snapshot -> unit
+  (** Undo every union, interning and binding made since the
+      snapshot. *)
+end

@@ -1,0 +1,129 @@
+(* Undoable union-find over dense integer nodes.
+
+   Path compression rewrites parent pointers during [find]; to keep
+   [rollback] exact every parent and rank write — including the
+   compression writes — is pushed onto a single undo trail, and a
+   snapshot is just a trail length plus the node count. Rolling the
+   trail back in reverse order therefore restores the exact forest,
+   not merely an equivalent partition, which is what makes compression
+   and undo compose. *)
+
+type entry =
+  | Parent of int * int  (* node, previous parent *)
+  | Rank of int * int  (* node, previous rank *)
+
+type t = {
+  mutable parent : int array;
+  mutable rank : int array;
+  mutable count : int;
+  mutable trail : entry list;
+  mutable trail_len : int;
+}
+
+type snapshot = {
+  s_count : int;
+  s_trail_len : int;
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  {
+    parent = Array.init capacity Fun.id;
+    rank = Array.make capacity 0;
+    count = 0;
+    trail = [];
+    trail_len = 0;
+  }
+
+let count t = t.count
+
+let grow t =
+  let old = Array.length t.parent in
+  let cap = old * 2 in
+  let parent = Array.init cap (fun i -> if i < old then t.parent.(i) else i) in
+  let rank = Array.make cap 0 in
+  Array.blit t.rank 0 rank 0 old;
+  t.parent <- parent;
+  t.rank <- rank
+
+let make t =
+  if t.count >= Array.length t.parent then grow t;
+  let i = t.count in
+  t.parent.(i) <- i;
+  t.rank.(i) <- 0;
+  t.count <- t.count + 1;
+  i
+
+let check t i =
+  if i < 0 || i >= t.count then
+    Fmt.invalid_arg "Unionfind: node %d out of range (count %d)" i t.count
+
+let set_parent t i p =
+  t.trail <- Parent (i, t.parent.(i)) :: t.trail;
+  t.trail_len <- t.trail_len + 1;
+  t.parent.(i) <- p
+
+let set_rank t i r =
+  t.trail <- Rank (i, t.rank.(i)) :: t.trail;
+  t.trail_len <- t.trail_len + 1;
+  t.rank.(i) <- r
+
+let rec find_root t i = if t.parent.(i) = i then i else find_root t t.parent.(i)
+
+let rec compress t i root =
+  let p = t.parent.(i) in
+  if p <> root then begin
+    set_parent t i root;
+    compress t p root
+  end
+
+let find t i =
+  check t i;
+  let root = find_root t i in
+  if t.parent.(i) <> root then compress t i root;
+  root
+
+let equiv t i j = find t i = find t j
+
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri = rj then false
+  else begin
+    let ri, rj = if t.rank.(ri) < t.rank.(rj) then rj, ri else ri, rj in
+    (* ri has rank >= rj: attach rj below ri *)
+    set_parent t rj ri;
+    if t.rank.(ri) = t.rank.(rj) then set_rank t ri (t.rank.(ri) + 1);
+    true
+  end
+
+let snapshot t = { s_count = t.count; s_trail_len = t.trail_len }
+
+let rollback t s =
+  if s.s_trail_len > t.trail_len || s.s_count > t.count then
+    invalid_arg "Unionfind.rollback: snapshot is newer than the store";
+  while t.trail_len > s.s_trail_len do
+    (match t.trail with
+    | [] -> assert false
+    | e :: rest ->
+      (match e with
+      | Parent (i, p) -> t.parent.(i) <- p
+      | Rank (i, r) -> t.rank.(i) <- r);
+      t.trail <- rest);
+    t.trail_len <- t.trail_len - 1
+  done;
+  (* nodes made after the snapshot become unreachable; reset them so
+     ids can be reissued *)
+  for i = s.s_count to t.count - 1 do
+    t.parent.(i) <- i;
+    t.rank.(i) <- 0
+  done;
+  t.count <- s.s_count
+
+let classes t =
+  let tbl = Hashtbl.create 16 in
+  for i = 0 to t.count - 1 do
+    let r = find t i in
+    let cur = Option.value ~default:[] (Hashtbl.find_opt tbl r) in
+    Hashtbl.replace tbl r (i :: cur)
+  done;
+  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) tbl []

@@ -16,6 +16,13 @@ val freeze : Query.Cq.t -> Dllite.Abox.t * string list
 
 val contained_in : Dllite.Tbox.t -> Query.Cq.t -> Query.Cq.t -> bool
 (** [contained_in tbox q1 q2] decides [q1 ⊑_T q2]. The two queries must
-    have the same arity. *)
+    have the same arity. Verdicts are memoised in a bounded LRU keyed
+    by TBox uid and the canonical forms of both queries. *)
+
+val contained_in_raw : Dllite.Tbox.t -> Query.Cq.t -> Query.Cq.t -> bool
+(** The unmemoised chase-based test (the differential oracle for the
+    cached path). *)
+
+val clear_cache : unit -> unit
 
 val equivalent : Dllite.Tbox.t -> Query.Cq.t -> Query.Cq.t -> bool

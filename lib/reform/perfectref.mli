@@ -22,8 +22,16 @@ val reformulate_raw : Dllite.Tbox.t -> Query.Cq.t -> Query.Ucq.t
     always the first disjunct. *)
 
 val reformulate : Dllite.Tbox.t -> Query.Cq.t -> Query.Ucq.t
-(** [reformulate_raw] followed by {!Query.Ucq.minimize}: the minimal
-    UCQ reformulation. *)
+(** The production path: the fast fixpoint (per-TBox axiom index,
+    hash-consed canonical-form dedup) followed by
+    {!Minimize.minimize}. Returns the same UCQ as
+    {!reformulate_naive}, measurably faster. *)
+
+val reformulate_naive : Dllite.Tbox.t -> Query.Cq.t -> Query.Ucq.t
+(** [reformulate_raw] followed by {!Query.Ucq.minimize} — the original
+    unoptimised pipeline, kept as the differential oracle for
+    {!reformulate} (the same pattern as the row-at-a-time executor
+    kept against the batch engine). *)
 
 val reformulate_cached : Dllite.Tbox.t -> Query.Cq.t -> Query.Ucq.t
 (** Same as {!reformulate}, with memoisation keyed on

@@ -1,0 +1,192 @@
+open Query
+
+(* The relation store: one union-find per TBox over predicate-
+   dependency nodes, plus instrumented term-level union-find helpers
+   shared by the reformulation-time consumers.
+
+   Dependency side. [Tbox.dep n] (Definition 4) is the downward
+   closure of [n] in the dependency graph, so it is contained in [n]'s
+   weakly-connected component. Unioning the endpoints of every
+   dependency edge therefore gives classes with
+
+     class(n1) <> class(n2)  =>  dep(n1) ∩ dep(n2) = ∅,
+
+   a sound O(α) negative fast path for [dep_overlap]. The converse
+   does NOT hold — overlap is not transitive, two predicates can share
+   a component without sharing a dependency — so same-class pairs fall
+   back to the exact set test, memoised per ordered pair. The store is
+   immutable once built and cached per {!Dllite.Tbox.uid}, so the
+   thousands of overlap queries a cover search issues against one TBox
+   hit either the class fast path or the pair memo. *)
+
+let m_unions =
+  Obs.Metrics.counter
+    ~help:"relation-store union operations (dep edges + term unions)"
+    "reform.relstore.unions"
+
+let m_finds =
+  Obs.Metrics.counter
+    ~help:"relation-store find/representative lookups"
+    "reform.relstore.finds"
+
+let m_dep_fastpath =
+  Obs.Metrics.counter
+    ~help:"dep-overlap queries answered by class inequality alone"
+    "reform.relstore.dep_fastpath"
+
+let m_dep_exact =
+  Obs.Metrics.counter
+    ~help:"dep-overlap queries that fell back to the exact set test"
+    "reform.relstore.dep_exact"
+
+type t = {
+  tbox : Dllite.Tbox.t;
+  uf : Unionfind.t;
+  node_of : (string, int) Hashtbl.t;  (* predicate name -> dep node *)
+  pair_memo : (string * string, bool) Hashtbl.t;
+  memo_lock : Mutex.t;
+}
+
+let tbox t = t.tbox
+
+let build tbox =
+  let uf = Unionfind.create ~capacity:64 () in
+  let node_of = Hashtbl.create 64 in
+  let node n =
+    match Hashtbl.find_opt node_of n with
+    | Some i -> i
+    | None ->
+      let i = Unionfind.make uf in
+      Hashtbl.add node_of n i;
+      i
+  in
+  let names =
+    Dllite.Tbox.concept_names tbox @ Dllite.Tbox.role_names tbox
+  in
+  List.iter (fun n -> ignore (node n)) names;
+  let unions = ref 0 in
+  List.iter
+    (fun n ->
+      Dllite.Tbox.String_set.iter
+        (fun m ->
+          if Unionfind.union uf (node n) (node m) then incr unions)
+        (Dllite.Tbox.dep tbox n))
+    names;
+  Obs.Metrics.add m_unions !unions;
+  { tbox; uf; node_of; pair_memo = Hashtbl.create 256; memo_lock = Mutex.create () }
+
+(* Predicates that never occur in the TBox have a singleton dep set
+   {n}: they are represented by absence from the node table. *)
+let class_of t n =
+  Obs.Metrics.incr m_finds;
+  match Hashtbl.find_opt t.node_of n with
+  | Some i -> Some (Unionfind.find t.uf i)
+  | None -> None
+
+let dep_overlap t n1 n2 =
+  String.equal n1 n2
+  ||
+  match class_of t n1, class_of t n2 with
+  | Some c1, Some c2 when c1 <> c2 ->
+    Obs.Metrics.incr m_dep_fastpath;
+    false
+  | None, _ | _, None ->
+    (* unknown predicates depend only on themselves *)
+    Obs.Metrics.incr m_dep_fastpath;
+    false
+  | Some _, Some _ ->
+    let key = if String.compare n1 n2 <= 0 then n1, n2 else n2, n1 in
+    Mutex.lock t.memo_lock;
+    let cached = Hashtbl.find_opt t.pair_memo key in
+    Mutex.unlock t.memo_lock;
+    (match cached with
+    | Some b -> b
+    | None ->
+      Obs.Metrics.incr m_dep_exact;
+      let b = Dllite.Tbox.dep_overlap t.tbox n1 n2 in
+      Mutex.lock t.memo_lock;
+      Hashtbl.replace t.pair_memo key b;
+      Mutex.unlock t.memo_lock;
+      b)
+
+(* Stores are immutable and keyed by the TBox uid; the table is
+   pruned wholesale when it grows past [max_cached] dead TBoxes. *)
+let max_cached = 64
+
+let stores : (int, t) Hashtbl.t = Hashtbl.create 8
+
+let stores_lock = Mutex.create ()
+
+let of_tbox tbox =
+  let uid = Dllite.Tbox.uid tbox in
+  Mutex.lock stores_lock;
+  let cached = Hashtbl.find_opt stores uid in
+  Mutex.unlock stores_lock;
+  match cached with
+  | Some s -> s
+  | None ->
+    let s = build tbox in
+    Mutex.lock stores_lock;
+    if Hashtbl.length stores >= max_cached then Hashtbl.reset stores;
+    if not (Hashtbl.mem stores uid) then Hashtbl.add stores uid s;
+    Mutex.unlock stores_lock;
+    s
+
+let clear_store_cache () =
+  Mutex.lock stores_lock;
+  Hashtbl.reset stores;
+  Mutex.unlock stores_lock
+
+(* Instrumented views over the generic cores, so every consumer's
+   union/find traffic shows up under reform.relstore.* regardless of
+   which facet (terms, dependency nodes, CQ equivalence classes) it
+   drives. *)
+module Classes = struct
+  type t = Unionfind.t
+
+  let create n =
+    let uf = Unionfind.create ~capacity:(max n 1) () in
+    for _ = 1 to n do
+      ignore (Unionfind.make uf)
+    done;
+    uf
+
+  let find uf i =
+    Obs.Metrics.incr m_finds;
+    Unionfind.find uf i
+
+  let union uf i j =
+    let merged = Unionfind.union uf i j in
+    if merged then Obs.Metrics.incr m_unions;
+    merged
+
+  let equiv uf i j = find uf i = find uf j
+end
+
+module Terms = struct
+  type t = Subst.Unifier.t
+
+  type snapshot = Subst.Unifier.snapshot
+
+  let create () = Subst.Unifier.create ()
+
+  let unify u t1 t2 =
+    Obs.Metrics.incr m_unions;
+    Subst.Unifier.unify u t1 t2
+
+  let equiv u t1 t2 =
+    Obs.Metrics.incr m_finds;
+    Subst.Unifier.equiv u t1 t2
+
+  let representative u t =
+    Obs.Metrics.incr m_finds;
+    Subst.Unifier.representative u t
+
+  let is_consistent = Subst.Unifier.is_consistent
+
+  let to_subst = Subst.Unifier.to_subst
+
+  let snapshot = Subst.Unifier.snapshot
+
+  let rollback = Subst.Unifier.rollback
+end

@@ -1,0 +1,88 @@
+(** The reformulation-time relation store (ROADMAP item 4): an
+    incremental union-find over predicate-dependency nodes and query
+    terms, shared by PerfectRef minimisation, safety analysis and the
+    cover-search algorithms.
+
+    {2 Dependency classes}
+
+    [dep n] (Definition 4) is a downward closure in the TBox's
+    dependency graph, so it never leaves [n]'s weakly-connected
+    component. The store unions the endpoints of every dependency
+    edge once per TBox; two predicates in different classes then
+    provably have disjoint dep sets — an O(α) negative answer for the
+    [dep_overlap] tests that dominate root-cover construction and
+    safety checks. Overlap is {e not} transitive, so same-class pairs
+    fall back to the exact set intersection, memoised per pair.
+
+    Stores are immutable once built and cached per {!Dllite.Tbox.uid};
+    all entry points are thread-safe (cover search fans out across
+    domains).
+
+    {2 Term and CQ-equivalence facets}
+
+    {!Terms} instruments the union-find unifier of
+    {!Query.Subst.Unifier} (undo/snapshot discipline included) and
+    {!Classes} a plain {!Query.Unionfind} used for CQ equivalence
+    classes during UCQ minimisation, so that all reformulation-time
+    union/find traffic is observable under the [reform.relstore.*]
+    metrics. *)
+
+type t
+
+val of_tbox : Dllite.Tbox.t -> t
+(** The store for this TBox — built on first use, cached by
+    {!Dllite.Tbox.uid} afterwards. *)
+
+val tbox : t -> Dllite.Tbox.t
+
+val dep_overlap : t -> string -> string -> bool
+(** Same relation as {!Dllite.Tbox.dep_overlap}, answered by the class
+    fast path or the pair memo whenever possible. *)
+
+val class_of : t -> string -> int option
+(** Dependency-class representative of a predicate name; [None] for
+    predicates the TBox never mentions (their dep set is the
+    singleton of themselves). *)
+
+val clear_store_cache : unit -> unit
+(** Drops all cached per-TBox stores (benchmarks use this to measure
+    cold builds). *)
+
+(** Instrumented dense integer union-find for equivalence classes of
+    CQ disjuncts (or any indexed collection). *)
+module Classes : sig
+  type t
+
+  val create : int -> t
+  (** [create n] is a store over nodes [0..n-1], each its own class. *)
+
+  val find : t -> int -> int
+
+  val union : t -> int -> int -> bool
+
+  val equiv : t -> int -> int -> bool
+end
+
+(** Instrumented view of {!Query.Subst.Unifier}: a union-find over
+    terms with constant-conflict detection and snapshot/rollback. *)
+module Terms : sig
+  type t
+
+  type snapshot
+
+  val create : unit -> t
+
+  val unify : t -> Query.Term.t -> Query.Term.t -> bool
+
+  val equiv : t -> Query.Term.t -> Query.Term.t -> bool
+
+  val representative : t -> Query.Term.t -> Query.Term.t
+
+  val is_consistent : t -> bool
+
+  val to_subst : t -> Query.Subst.t
+
+  val snapshot : t -> snapshot
+
+  val rollback : t -> snapshot -> unit
+end

@@ -278,6 +278,117 @@ let prop_ucq_minimize_keeps_maximal =
           List.exists (fun k -> Cq.contained_in d k) (Ucq.disjuncts m))
         (Ucq.disjuncts u))
 
+(* {1 Undoable union-find and the union-find unifier} *)
+
+let test_unionfind_basic () =
+  let uf = Unionfind.create () in
+  let a = Unionfind.make uf and b = Unionfind.make uf and cc = Unionfind.make uf in
+  check_int "dense ids" 2 cc;
+  check_bool "fresh nodes distinct" false (Unionfind.equiv uf a b);
+  check_bool "first union merges" true (Unionfind.union uf a b);
+  check_bool "second union is a no-op" false (Unionfind.union uf b a);
+  check_bool "merged" true (Unionfind.equiv uf a b);
+  check_bool "third node untouched" false (Unionfind.equiv uf a cc);
+  check_int "three nodes" 3 (Unionfind.count uf);
+  check_bool "partition" true
+    (List.sort compare (Unionfind.classes uf) = [ [ 0; 1 ]; [ 2 ] ])
+
+let test_unionfind_compression () =
+  (* A long chain of unions, then finds: path compression must leave
+     every find stable and the class intact. Capacity 1 also exercises
+     the growth path. *)
+  let uf = Unionfind.create ~capacity:1 () in
+  let nodes = List.init 40 (fun _ -> Unionfind.make uf) in
+  List.iter (fun i -> if i > 0 then ignore (Unionfind.union uf (i - 1) i)) nodes;
+  let roots = List.map (Unionfind.find uf) nodes in
+  let r0 = List.hd roots in
+  check_bool "single class, single root" true (List.for_all (Int.equal r0) roots);
+  List.iter
+    (fun i -> check_int "find stable after compression" r0 (Unionfind.find uf i))
+    nodes;
+  check_int "one class" 1 (List.length (Unionfind.classes uf))
+
+let test_unionfind_rollback () =
+  let uf = Unionfind.create () in
+  let a = Unionfind.make uf and b = Unionfind.make uf in
+  ignore (Unionfind.union uf a b);
+  let snap = Unionfind.snapshot uf in
+  let c' = Unionfind.make uf and d = Unionfind.make uf in
+  ignore (Unionfind.union uf c' d);
+  ignore (Unionfind.union uf a c');
+  (* a deep find, so compression writes land on the trail too *)
+  ignore (Unionfind.find uf d);
+  check_bool "all merged" true (Unionfind.equiv uf b d);
+  Unionfind.rollback uf snap;
+  check_int "post-snapshot nodes discarded" 2 (Unionfind.count uf);
+  check_bool "pre-snapshot union survives" true (Unionfind.equiv uf a b);
+  let e = Unionfind.make uf in
+  check_int "ids restart where the snapshot left them" 2 e;
+  check_bool "fresh node separate" false (Unionfind.equiv uf a e);
+  ignore (Unionfind.union uf a e);
+  Unionfind.rollback uf snap;
+  check_int "rollback twice to the same mark" 2 (Unionfind.count uf)
+
+(* The union-find unifier must decide and substitute exactly like
+   folding [Subst.unify_terms] — [Atom.unify] and [Cq.reduce] sit on
+   top of it. *)
+let test_unifier_matches_unify_terms () =
+  let rng = Random.State.make [| 90125 |] in
+  let random_term () =
+    if Random.State.int rng 3 = 0 then c (Printf.sprintf "k%d" (Random.State.int rng 3))
+    else v (Printf.sprintf "x%d" (Random.State.int rng 4))
+  in
+  for _ = 1 to 500 do
+    let pairs =
+      List.init (1 + Random.State.int rng 5) (fun _ -> random_term (), random_term ())
+    in
+    let naive =
+      List.fold_left
+        (fun acc (t1, t2) -> Option.bind acc (Subst.unify_terms t1 t2))
+        (Some Subst.empty) pairs
+    in
+    let u = Subst.Unifier.create () in
+    let ok = List.for_all (fun (t1, t2) -> Subst.Unifier.unify u t1 t2) pairs in
+    match naive, ok with
+    | None, false -> check_bool "both reject" true (not (Subst.Unifier.is_consistent u))
+    | Some s, true ->
+      check_bool "same substitution" true
+        (Subst.bindings s = Subst.bindings (Subst.Unifier.to_subst u))
+    | Some _, false -> Alcotest.fail "unifier rejected a unifiable pair list"
+    | None, true -> Alcotest.fail "unifier accepted a non-unifiable pair list"
+  done
+
+let test_unifier_constant_conflict () =
+  let u = Subst.Unifier.create () in
+  check_bool "x~a" true (Subst.Unifier.unify u (v "x") (c "a"));
+  check_bool "y~x propagates a" true (Subst.Unifier.unify u (v "y") (v "x"));
+  check_bool "rep y is a" true (Term.equal (Subst.Unifier.representative u (v "y")) (c "a"));
+  check_bool "y~b clashes through the class" false (Subst.Unifier.unify u (v "y") (c "b"));
+  check_bool "inconsistent" false (Subst.Unifier.is_consistent u);
+  check_bool "to_subst refuses" true
+    (match Subst.Unifier.to_subst u with
+    | (_ : Subst.t) -> false
+    | exception Invalid_argument _ -> true)
+
+let test_unifier_rollback () =
+  let u = Subst.Unifier.create () in
+  check_bool "x~y" true (Subst.Unifier.unify u (v "x") (v "y"));
+  let snap = Subst.Unifier.snapshot u in
+  check_bool "y~a" true (Subst.Unifier.unify u (v "y") (c "a"));
+  check_bool "constant reaches x" true
+    (Term.equal (Subst.Unifier.representative u (v "x")) (c "a"));
+  check_bool "x~b conflicts" false (Subst.Unifier.unify u (v "x") (c "b"));
+  Subst.Unifier.rollback u snap;
+  check_bool "consistent again" true (Subst.Unifier.is_consistent u);
+  check_bool "x~y survives the rollback" true (Subst.Unifier.equiv u (v "x") (v "y"));
+  check_bool "binding to a undone" false
+    (Term.equal (Subst.Unifier.representative u (v "x")) (c "a"));
+  (* and the unifier keeps working: the other constant now binds fine *)
+  check_bool "x~b accepted after rollback" true (Subst.Unifier.unify u (v "x") (c "b"));
+  let s = Subst.Unifier.to_subst u in
+  check_bool "apply x = b" true (Term.equal (Subst.apply s (v "x")) (c "b"));
+  check_bool "apply y = b" true (Term.equal (Subst.apply s (v "y")) (c "b"))
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -317,5 +428,11 @@ let suite =
     Alcotest.test_case "ucq arity" `Quick test_ucq_arity_mismatch;
     Alcotest.test_case "fol dialects" `Quick test_fol_dialects;
     Alcotest.test_case "fol join validation" `Quick test_fol_join_validation;
+    Alcotest.test_case "unionfind basic" `Quick test_unionfind_basic;
+    Alcotest.test_case "unionfind compression" `Quick test_unionfind_compression;
+    Alcotest.test_case "unionfind rollback" `Quick test_unionfind_rollback;
+    Alcotest.test_case "unifier = unify_terms" `Quick test_unifier_matches_unify_terms;
+    Alcotest.test_case "unifier constant clash" `Quick test_unifier_constant_conflict;
+    Alcotest.test_case "unifier rollback" `Quick test_unifier_rollback;
   ]
   @ props

@@ -340,6 +340,167 @@ let test_unsat_fragment_no_crash () =
   let a = Abox.of_assertions ~concepts:[ "A", "a" ] ~roles:[] in
   check_bool "evaluates without crashing" true (evaluate_ucq a u <> [])
 
+(* {1 The union-find fast path against its naive oracles} *)
+
+(* The indexed fixpoint + relation-store minimisation must reproduce
+   [reformulate_naive] byte-for-byte: same disjuncts, same order. *)
+let same_ucq u1 u2 =
+  Ucq.size u1 = Ucq.size u2
+  && List.for_all2 Cq.equal (Ucq.disjuncts u1) (Ucq.disjuncts u2)
+
+let test_fast_equals_naive_lubm () =
+  let tbox = Lubm.Ontology.tbox in
+  List.iter
+    (fun e ->
+      let fast = Reform.Perfectref.reformulate tbox e.Lubm.Workload.query in
+      let naive = Reform.Perfectref.reformulate_naive tbox e.Lubm.Workload.query in
+      Alcotest.(check bool) (e.Lubm.Workload.name ^ ": fast = naive") true
+        (same_ucq fast naive))
+    Lubm.Workload.queries
+
+let test_fast_equals_naive_random () =
+  let rng = Random.State.make [| 48151623 |] in
+  for _ = 1 to 150 do
+    let tbox = random_tbox rng in
+    let q = random_query rng in
+    check_bool "fast reformulation = naive" true
+      (same_ucq
+         (Reform.Perfectref.reformulate tbox q)
+         (Reform.Perfectref.reformulate_naive tbox q))
+  done
+
+let test_minimize_matches_ucq_minimize () =
+  let rng = Random.State.make [| 271828 |] in
+  for _ = 1 to 120 do
+    let tbox = random_tbox rng in
+    let q = random_query rng in
+    let raw = Reform.Perfectref.reformulate_raw tbox q in
+    check_bool "Minimize.minimize = Ucq.minimize" true
+      (same_ucq (Reform.Minimize.minimize raw) (Ucq.minimize raw))
+  done
+
+let test_relstore_overlap_matches_tbox () =
+  let rng = Random.State.make [| 577215 |] in
+  let names = [ "A0"; "A1"; "A2"; "A3"; "R0"; "R1"; "R2"; "Unknown" ] in
+  for _ = 1 to 200 do
+    let tbox = random_tbox rng in
+    let store = Reform.Relstore.of_tbox tbox in
+    List.iter
+      (fun n1 ->
+        List.iter
+          (fun n2 ->
+            check_bool
+              (Printf.sprintf "dep_overlap %s %s" n1 n2)
+              (Dllite.Tbox.dep_overlap tbox n1 n2)
+              (Reform.Relstore.dep_overlap store n1 n2))
+          names)
+      names
+  done
+
+let test_dedup_metric () =
+  (* Two specializable atoms reach shared descendants through either
+     derivation order, so the fixpoint's duplicate counter must move. *)
+  let before = Obs.Metrics.counter_value Reform.Minimize.m_dedup_hits in
+  ignore (Reform.Perfectref.reformulate example1_tbox example3_query);
+  let after = Obs.Metrics.counter_value Reform.Minimize.m_dedup_hits in
+  check_bool "reform.dedup_hits advanced" true (after > before)
+
+(* {1 Containment edge cases} *)
+
+let test_containment_repeated_vars () =
+  let t = Tbox.empty in
+  let self_loop = Cq.make ~head:[ v "x" ] ~body:[ ra "R" (v "x") (v "x") ] () in
+  let edge = Cq.make ~head:[ v "x" ] ~body:[ ra "R" (v "x") (v "y") ] () in
+  check_bool "R(x,x) within R(x,y)" true (Reform.Containment.contained_in t self_loop edge);
+  check_bool "R(x,y) not within R(x,x)" false
+    (Reform.Containment.contained_in t edge self_loop);
+  (* a self-join pair folds onto the loop, not conversely *)
+  let two_hop =
+    Cq.make ~head:[ v "x" ] ~body:[ ra "R" (v "x") (v "y"); ra "R" (v "y") (v "x") ] ()
+  in
+  check_bool "loop within the self-join pair" true
+    (Reform.Containment.contained_in t self_loop two_hop);
+  check_bool "pair not within the loop (no hom onto x=y)" true
+    (Reform.Containment.contained_in t two_hop self_loop
+    = Reform.Containment.contained_in_raw t two_hop self_loop)
+
+let test_containment_constants_vs_vars () =
+  let t = Tbox.empty in
+  (* same rendered names on purpose: the memo key must keep the
+     variable "x" and the constant "x" apart *)
+  let with_var = Cq.make ~head:[ v "y" ] ~body:[ ra "R" (v "y") (v "x") ] () in
+  let with_cst = Cq.make ~head:[ v "y" ] ~body:[ ra "R" (v "y") (c "x") ] () in
+  check_bool "constant query within variable query" true
+    (Reform.Containment.contained_in t with_cst with_var);
+  check_bool "variable query not within constant query" false
+    (Reform.Containment.contained_in t with_var with_cst);
+  (* ask again with roles reversed to hit the memo, and cross-check the
+     uncached oracle *)
+  check_bool "memoised answer matches the oracle" true
+    (Reform.Containment.contained_in t with_cst with_var
+    = Reform.Containment.contained_in_raw t with_cst with_var);
+  check_bool "memoised negative matches the oracle" true
+    (Reform.Containment.contained_in t with_var with_cst
+    = Reform.Containment.contained_in_raw t with_var with_cst)
+
+let test_containment_cached_equals_raw_random () =
+  let rng = Random.State.make [| 314159 |] in
+  for _ = 1 to 100 do
+    let tbox = random_tbox rng in
+    let q1 = random_query rng and q2 = random_query rng in
+    if Cq.arity q1 = Cq.arity q2 then begin
+      let cached = Reform.Containment.contained_in tbox q1 q2 in
+      let raw = Reform.Containment.contained_in_raw tbox q1 q2 in
+      check_bool "cached containment = raw" raw cached;
+      (* second lookup serves from the memo and must agree too *)
+      check_bool "memo hit stays correct" raw
+        (Reform.Containment.contained_in tbox q1 q2)
+    end
+  done
+
+let test_empty_union_rejected () =
+  (* Empty CQ bodies and hollow unions fail loudly: [Fol.of_ucq]'s
+     invalid_arg guard is unreachable through [Ucq.make], which
+     already rejects the empty union. *)
+  check_bool "empty-body cq rejected" true
+    (match Cq.make ~head:[ v "x" ] ~body:[] () with
+    | (_ : Cq.t) -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "empty union rejected" true
+    (match Ucq.make [] with
+    | (_ : Ucq.t) -> false
+    | exception Invalid_argument _ -> true);
+  (* minimisation never empties a union *)
+  let q = Cq.make ~head:[ v "x" ] ~body:[ ca "A0" (v "x") ] () in
+  check_int "singleton survives minimisation" 1
+    (Ucq.size (Reform.Minimize.minimize (Ucq.make [ q ])))
+
+let prop_minimized_answers_equal =
+  QCheck2.Test.make ~name:"minimized ucq answers = unminimized (end-to-end)"
+    ~count:60
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 0xC0FFEE |] in
+      let tbox = random_tbox rng in
+      let abox = random_abox rng in
+      let q = random_query rng in
+      let raw = Reform.Perfectref.reformulate_raw tbox q in
+      let expected = evaluate_ucq abox raw in
+      evaluate_ucq abox (Ucq.minimize raw) = expected
+      && evaluate_ucq abox (Reform.Minimize.minimize raw) = expected)
+
+let prop_store_reformulation_equals_naive =
+  QCheck2.Test.make ~name:"store-backed reformulation = naive oracle"
+    ~count:80
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 0xFEED |] in
+      let tbox = random_tbox rng in
+      let q = random_query rng in
+      same_ucq
+        (Reform.Perfectref.reformulate tbox q)
+        (Reform.Perfectref.reformulate_naive tbox q))
+
 let suite =
   [
     Alcotest.test_case "example 4 raw size" `Quick test_example4_raw_size;
@@ -364,4 +525,15 @@ let suite =
       test_consistency_through_existential_chain;
     Alcotest.test_case "consistency checks agree (random)" `Slow
       test_consistency_agreement_random;
+    Alcotest.test_case "fast = naive (lubm)" `Slow test_fast_equals_naive_lubm;
+    Alcotest.test_case "fast = naive (random)" `Slow test_fast_equals_naive_random;
+    Alcotest.test_case "minimize = ucq minimize" `Slow test_minimize_matches_ucq_minimize;
+    Alcotest.test_case "relstore overlap = tbox" `Quick test_relstore_overlap_matches_tbox;
+    Alcotest.test_case "dedup metric" `Quick test_dedup_metric;
+    Alcotest.test_case "containment repeated vars" `Quick test_containment_repeated_vars;
+    Alcotest.test_case "containment constants" `Quick test_containment_constants_vs_vars;
+    Alcotest.test_case "containment cache = raw" `Slow test_containment_cached_equals_raw_random;
+    Alcotest.test_case "empty union rejected" `Quick test_empty_union_rejected;
   ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_minimized_answers_equal; prop_store_reformulation_equals_naive ]
