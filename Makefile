@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test doc bench-smoke bench-replay bench-engine bench-sip bench-storage bench-server bench-updates bench-reform bench ci clean
+.PHONY: all build test doc bench-smoke bench-replay bench-engine bench-sip bench-storage bench-server bench-updates bench-reform bench-feedback bench ci clean
 
 all: build
 
@@ -91,11 +91,21 @@ bench-reform: build
 	$(DUNE) exec bench/main.exe -- --exp reform --small 5000 \
 	  --json BENCH_PR9.json
 
+# The E21 feedback experiment: the E14 Zipf workload replayed with the
+# EXPLAIN ANALYZE correction store detached vs trained, per-query root
+# q-errors, cover flips and measured evaluation times recorded to
+# BENCH_PR10.json. Fails if the q-error geometric mean does not shrink
+# under the trained store, if no query flips to a cover with a cheaper
+# measured runtime, or if any answer diverges between the passes.
+bench-feedback: build
+	$(DUNE) exec bench/main.exe -- --exp feedback --small 5000 \
+	  --json BENCH_PR10.json
+
 # The full benchmark suite at the default (sequential) job count.
 bench: build
 	$(DUNE) exec bench/main.exe
 
-ci: test doc bench-smoke bench-replay bench-engine bench-sip bench-storage bench-server bench-updates bench-reform
+ci: test doc bench-smoke bench-replay bench-engine bench-sip bench-storage bench-server bench-updates bench-reform bench-feedback
 
 clean:
 	$(DUNE) clean

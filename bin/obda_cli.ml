@@ -7,7 +7,8 @@
      answer     answer a workload query end to end
      explain    show the chosen reformulation, cover and SQL
      covers     explore the safe / generalized cover spaces
-     check      consistency-check an ABox against the LUBMe TBox *)
+     check      consistency-check an ABox against the LUBMe TBox
+     feedback   train/save/load/clear EXPLAIN ANALYZE cost corrections *)
 
 open Cmdliner
 
@@ -107,6 +108,22 @@ let store_arg =
            ~doc:"Open the ABox from a binary column store written by \
                  $(b,store save) (mmap, O(segments) open; implies the simple \
                  layout). Overrides --data/--facts/--rdf.")
+
+let feedback_arg =
+  Arg.(value & opt (some string) None
+       & info [ "feedback" ] ~docv:"FILE"
+           ~doc:"Load cardinality corrections written by $(b,feedback save); \
+                 the cost-based strategies then rank covers with the corrected \
+                 estimates instead of the static ones.")
+
+let apply_feedback engine = function
+  | None -> ()
+  | Some file -> (
+    match Cost.Feedback.load file with
+    | Ok fb -> Obda.set_feedback_store engine (Some fb)
+    | Error msg ->
+      Fmt.epr "obda-cli: %s@." msg;
+      exit 1)
 
 let load_storage file =
   match Rdbms.Storage.load file with
@@ -273,7 +290,7 @@ let warm_arg =
 
 let answer_cmd =
   let run facts seed data rdf store tbox_file inline qname engine_kind layout strategy
-      limit jobs metrics plan_cap reform_cap cache_stats warm =
+      limit jobs metrics plan_cap reform_cap cache_stats warm feedback =
     apply_jobs jobs;
     apply_caches plan_cap reform_cap;
     let tbox, engine =
@@ -295,6 +312,7 @@ let answer_cmd =
         let tbox, abox = load_kb rdf tbox_file data facts seed in
         tbox, Obda.make_engine engine_kind layout abox
     in
+    apply_feedback engine feedback;
     let q = find_query ~inline qname in
     let o = Obda.answer engine tbox strategy q in
     write_metrics metrics;
@@ -322,7 +340,7 @@ let answer_cmd =
     Term.(const run $ facts_arg $ seed_arg $ data_arg $ rdf_arg $ store_arg
           $ tbox_arg $ query_string_arg $ query_arg $ engine_arg $ layout_arg
           $ strategy_arg $ limit_arg $ jobs_arg $ metrics_arg $ plan_cache_arg
-          $ reform_cache_arg $ cache_stats_arg $ warm_arg)
+          $ reform_cache_arg $ cache_stats_arg $ warm_arg $ feedback_arg)
 
 (* {1 explain} *)
 
@@ -356,7 +374,7 @@ let explain_cmd =
                    candidate/accepted/rejected/chosen event per cover considered).")
   in
   let run facts seed data rdf store tbox_file inline qname engine_kind layout strategy
-      show_plan show_datalog show_sql analyze format trace jobs =
+      show_plan show_datalog show_sql analyze format trace jobs feedback =
     apply_jobs jobs;
     let tbox, engine =
       match store with
@@ -368,6 +386,8 @@ let explain_cmd =
         let tbox, abox = load_kb rdf tbox_file data facts seed in
         tbox, Obda.make_engine engine_kind layout abox
     in
+    apply_feedback engine feedback;
+    let fb = Obda.feedback_store engine in
     let q = find_query ~inline qname in
     let reformulate () = Obda.reformulate engine tbox strategy q in
     let fol, events =
@@ -384,7 +404,7 @@ let explain_cmd =
         Cost.Sip_pass.annotate
           ~model:(Cost.Cost_model.calibrated (match engine_kind with
             | `Pglite -> `Pglite | `Db2lite -> `Db2lite))
-          lay plan
+          ?feedback:fb lay plan
       else plan
     in
     let stats =
@@ -417,7 +437,7 @@ let explain_cmd =
         (Obda.strategy_name strategy) dialect (Query.Fol.cq_count fol)
         (Query.Fol.join_width fol)
         (est.Optimizer.Estimator.estimate fol)
-        (ext.Optimizer.Estimator.estimate fol)
+        (ext.Optimizer.Estimator.estimate ?feedback:fb fol)
         (Sql.Sql_ast.length sql)
         analyze plan_json
         (String.concat "," (List.map Obs.Trace.event_to_json events))
@@ -428,7 +448,7 @@ let explain_cmd =
       Fmt.pr "cq disjuncts : %d@." (Query.Fol.cq_count fol);
       Fmt.pr "join width   : %d@." (Query.Fol.join_width fol);
       Fmt.pr "rdbms cost   : %.0f@." (est.Optimizer.Estimator.estimate fol);
-      Fmt.pr "ext cost     : %.0f@." (ext.Optimizer.Estimator.estimate fol);
+      Fmt.pr "ext cost     : %.0f@." (ext.Optimizer.Estimator.estimate ?feedback:fb fol);
       Fmt.pr "sql bytes    : %d@." (Sql.Sql_ast.length sql);
       let store = Reform.Relstore.of_tbox tbox in
       let root = Covers.Safety.root_cover ~store tbox q in
@@ -449,7 +469,22 @@ let explain_cmd =
             "reform.containment.skipped"; "reform.containment.memo_hits";
             "reform.fixpoint.iterations"; "reform.cq.generated";
             "reform.cache.requests"; "reform.cache.hits";
-          ]
+          ];
+        Fmt.pr "@.== feedback metrics (feedback.*) ==@.";
+        List.iter
+          (fun name ->
+            Option.iter
+              (fun c -> Fmt.pr "%-32s %d@." name (Obs.Metrics.counter_value c))
+              (Obs.Metrics.find_counter name))
+          [
+            "feedback.observations"; "feedback.corrections.applied";
+            "feedback.plan.reranks";
+          ];
+        (match fb with
+         | Some store ->
+           Fmt.pr "%-32s %d@." "feedback.epoch" (Cost.Feedback.epoch store);
+           Fmt.pr "%a@." Cost.Feedback.pp_stats (Cost.Feedback.stats store)
+         | None -> Fmt.pr "%-32s (store detached)@." "feedback.epoch")
       end;
       (match stats with
        | Some s ->
@@ -471,7 +506,7 @@ let explain_cmd =
     Term.(const run $ facts_arg $ seed_arg $ data_arg $ rdf_arg $ store_arg
           $ tbox_arg $ query_string_arg $ query_arg $ engine_arg $ layout_arg
           $ strategy_arg $ plan_arg $ datalog_arg $ sql_flag_arg $ analyze_arg
-          $ format_arg $ trace_arg $ jobs_arg)
+          $ format_arg $ trace_arg $ jobs_arg $ feedback_arg)
 
 (* {1 covers} *)
 
@@ -534,6 +569,95 @@ let saturate_cmd =
              incomplete w.r.t. existential witnesses).")
     Term.(const run $ facts_arg $ seed_arg $ data_arg $ rdf_arg $ tbox_arg $ out_arg)
 
+(* {1 feedback} *)
+
+let feedback_save_cmd =
+  let out_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Output corrections file (OBDAFBK1).")
+  in
+  let passes_arg =
+    Arg.(value & opt int 2
+         & info [ "passes" ] ~docv:"N"
+             ~doc:"EXPLAIN ANALYZE training passes over the workload queries.")
+  in
+  let run facts seed data rdf tbox_file engine_kind layout strategy passes out =
+    let tbox, abox = load_kb rdf tbox_file data facts seed in
+    let engine = Obda.make_engine engine_kind layout abox in
+    let t0 = Unix.gettimeofday () in
+    let harvested = ref 0 in
+    for _ = 1 to passes do
+      List.iter
+        (fun e ->
+          let a = Obda.analyze engine tbox strategy e.Lubm.Workload.query in
+          harvested := !harvested + a.Obda.a_harvested)
+        Lubm.Workload.queries
+    done;
+    match Obda.feedback_store engine with
+    | None -> assert false (* engines are born with a store attached *)
+    | Some fb ->
+      Cost.Feedback.save fb out;
+      Fmt.pr "trained    : %d observations in %.0f ms (%d passes, %d queries)@."
+        !harvested
+        ((Unix.gettimeofday () -. t0) *. 1000.)
+        passes
+        (List.length Lubm.Workload.queries);
+      Fmt.pr "wrote      : %a@.  to %s@." Cost.Feedback.pp_stats
+        (Cost.Feedback.stats fb) out
+  in
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:"Run EXPLAIN ANALYZE training passes over the workload queries and \
+             write the harvested correction store to $(i,FILE) for later \
+             $(b,--feedback) reuse.")
+    Term.(const run $ facts_arg $ seed_arg $ data_arg $ rdf_arg $ tbox_arg
+          $ engine_arg $ layout_arg $ strategy_arg $ passes_arg $ out_arg)
+
+let feedback_load_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Corrections file.")
+  in
+  let entries_arg =
+    Arg.(value & flag
+         & info [ "entries" ] ~doc:"Also list every correction key with its factor.")
+  in
+  let run file show_entries =
+    match Cost.Feedback.load file with
+    | Error msg ->
+      Fmt.epr "obda-cli: %s@." msg;
+      exit 1
+    | Ok fb ->
+      Fmt.pr "%s: %a@." file Cost.Feedback.pp_stats (Cost.Feedback.stats fb);
+      if show_entries then
+        List.iter
+          (fun (key, factor, count) -> Fmt.pr "  %10.4f x%-5d %s@." factor count key)
+          (Cost.Feedback.entries fb)
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Open and fully validate a corrections file, printing its \
+             statistics (a corrupt file reports an error, never a crash).")
+    Term.(const run $ file_arg $ entries_arg)
+
+let feedback_clear_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Corrections file.")
+  in
+  let run file =
+    Cost.Feedback.save (Cost.Feedback.create ()) file;
+    Fmt.pr "reset %s to an empty correction store@." file
+  in
+  Cmd.v
+    (Cmd.info "clear" ~doc:"Reset a corrections file to an empty store.")
+    Term.(const run $ file_arg)
+
+let feedback_cmd =
+  Cmd.group
+    (Cmd.info "feedback"
+       ~doc:"Train, inspect and reset the EXPLAIN ANALYZE correction store the \
+             cost-based strategies consult ($(b,--feedback)).")
+    [ feedback_save_cmd; feedback_load_cmd; feedback_clear_cmd ]
+
 let () =
   let info =
     Cmd.info "obda-cli" ~version:"1.0.0"
@@ -543,4 +667,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; store_cmd; workload_cmd; answer_cmd; explain_cmd; covers_cmd;
-            check_cmd; saturate_cmd ]))
+            check_cmd; saturate_cmd; feedback_cmd ]))

@@ -53,10 +53,16 @@ let help () =
   cache clear                   flush the plan and reformulation caches
   insert concept C a            assert C(a)
   insert role R a b             assert R(a,b)
+  feedback stats                correction-store summary and top factors
+  feedback (on|off)             toggle the correction store
+  feedback clear                drop every learned correction
+  feedback save FILE            write the corrections (OBDAFBK1)
+  feedback load FILE            read corrections saved earlier
   ask QUERY                     answer a CQ, e.g. ask q(?x) <- Person(?x)
   QNAME                         run a workload query, e.g. Q3 or A4
   explain QUERY|QNAME           reformulation, cover, costs
-  analyze QUERY|QNAME           EXPLAIN ANALYZE: estimates vs actuals (also :explain)
+  analyze QUERY|QNAME           EXPLAIN ANALYZE: estimates vs actuals, harvested
+                                into the correction store (also :explain)
   plan QUERY|QNAME              annotated physical plan
   sql QUERY|QNAME               generated SQL
   datalog QUERY|QNAME           Datalog rendering of the reformulation
@@ -105,13 +111,19 @@ let run_explain st text =
 
 let run_analyze st text =
   let q = parse_query st text in
-  let fol = Obda.reformulate st.engine st.tbox st.strategy q in
-  let profile = Obda.profile st.engine and lay = Obda.layout st.engine in
-  let plan = Rdbms.Planner.of_fol lay fol in
-  let _, stats =
-    Rdbms.Exec.run_analyzed ~config:profile.Rdbms.Explain.exec_config lay plan
-  in
-  print_string (Rdbms.Explain.render_analyze profile lay stats)
+  let a = Obda.analyze st.engine st.tbox st.strategy q in
+  (match a.Obda.a_stats with
+  | Some stats ->
+    print_string
+      (Rdbms.Explain.render_analyze (Obda.profile st.engine)
+         (Obda.layout st.engine) stats)
+  | None -> (
+    match a.Obda.a_outcome.Obda.answers with
+    | Error msg -> Printf.printf "engine error: %s\n" msg
+    | Ok _ -> ()));
+  Printf.printf "root q-error %.2f; %d observations harvested%s\n"
+    a.Obda.a_q_error a.Obda.a_harvested
+    (if a.Obda.a_reranked then "; cached plan dropped for re-ranking" else "")
 
 let run_plan st text =
   let q = parse_query st text in
@@ -218,6 +230,43 @@ let handle st line =
     Obda.clear_plan_cache ();
     Reform.Perfectref.clear_cache ();
     print_endline "plan and reformulation caches cleared"
+  | [ "feedback"; "stats" ] -> (
+    match Obda.feedback_store st.engine with
+    | None -> print_endline "feedback: off"
+    | Some fb ->
+      Fmt.pr "%a@." Cost.Feedback.pp_stats (Cost.Feedback.stats fb);
+      let entries = Cost.Feedback.entries fb in
+      List.iteri
+        (fun i (key, factor, count) ->
+          if i < st.limit then Fmt.pr "  %10.4f x%-5d %s@." factor count key)
+        entries;
+      if List.length entries > st.limit then
+        Printf.printf "  ... (%d more; 'limit N' to widen)\n"
+          (List.length entries - st.limit))
+  | [ "feedback"; "on" ] ->
+    Obda.set_feedback st.engine true;
+    print_endline "feedback enabled (train it with 'analyze')"
+  | [ "feedback"; "off" ] ->
+    Obda.set_feedback st.engine false;
+    print_endline "feedback disabled"
+  | [ "feedback"; "clear" ] -> (
+    match Obda.feedback_store st.engine with
+    | Some fb ->
+      Cost.Feedback.clear fb;
+      print_endline "corrections cleared"
+    | None -> print_endline "feedback: off")
+  | [ "feedback"; "save"; file ] -> (
+    match Obda.feedback_store st.engine with
+    | Some fb ->
+      Cost.Feedback.save fb file;
+      Fmt.pr "wrote %a to %s@." Cost.Feedback.pp_stats (Cost.Feedback.stats fb) file
+    | None -> print_endline "feedback: off")
+  | [ "feedback"; "load"; file ] -> (
+    match Cost.Feedback.load file with
+    | Ok fb ->
+      Obda.set_feedback_store st.engine (Some fb);
+      Fmt.pr "loaded %a@." Cost.Feedback.pp_stats (Cost.Feedback.stats fb)
+    | Error msg -> Printf.printf "error: %s\n" msg)
   | [ "insert"; "concept"; c; a ] ->
     Printf.printf "%s\n"
       (if Obda.insert_concept st.engine ~concept:c ~ind:a then "inserted"

@@ -37,54 +37,97 @@ let access_rows layout atom =
     card p /. Float.max 1. (float_of_int o)
   | Atom.Ra (p, _, _) -> card p
 
-let cq_cost model layout cq =
+(* The ?feedback parameter threads a {!Feedback} correction store
+   through every estimate. The join fold follows the same
+   {!Estimate.order_atoms} order as the planner, so the fold's prefix
+   shapes are exactly the join subtrees EXPLAIN ANALYZE observed: a
+   corrected prefix replaces the textbook intermediate with
+   (raw static estimate of the prefix) x (its learned factor), while
+   an uncorrected step composes the containment-assumption join of the
+   corrected inputs. *)
+let cq_cost ?feedback model layout cq =
   match Estimate.order_atoms layout (Cq.atoms cq) with
   | [] -> 0.
   | first :: rest ->
-    let e0 = Estimate.atom layout first in
+    let e0 = Feedback.atom_est ?feedback layout first in
+    let raw0 = Estimate.atom layout first in
     let cost0 = model.c_access *. access_rows layout first in
-    let _, total =
+    let _, _, _, total =
       List.fold_left
-        (fun (cur, cost) atom ->
-          let e = Estimate.atom layout atom in
-          let joined = Estimate.join cur e in
+        (fun (prefix, cur, cur_raw, cost) atom ->
+          let e = Feedback.atom_est ?feedback layout atom in
+          let raw = Estimate.atom layout atom in
+          let prefix = atom :: prefix in
+          let raw_joined = Estimate.join cur_raw raw in
+          let joined =
+            match Feedback.lookup_atoms feedback ~tag:"j" prefix with
+            | Some f -> Feedback.scale raw_joined f
+            | None -> Estimate.join cur e
+          in
           let access = model.c_access *. access_rows layout atom in
           let join_cost = model.c_join *. (cur.Estimate.rows +. e.Estimate.rows) in
           let out_cost = model.c_out *. joined.Estimate.rows in
-          joined, cost +. access +. join_cost +. out_cost)
-        (e0, cost0) rest
+          prefix, joined, raw_joined, cost +. access +. join_cost +. out_cost)
+        ([ first ], e0, raw0, cost0)
+        rest
     in
     total
 
-let rec fol_rows layout = function
-  | Fol.Leaf { ucq; _ } ->
-    List.fold_left
-      (fun acc d -> acc +. Estimate.cq_rows layout (Cq.atoms d))
-      0. (Ucq.disjuncts ucq)
-  | Fol.Union { branches; _ } ->
-    List.fold_left (fun acc b -> acc +. fol_rows layout b) 0. branches
-  | Fol.Join { parts; _ } ->
-    (* independence across fragments, bounded by the smallest part *)
-    List.fold_left (fun acc p -> Float.min acc (fol_rows layout p)) infinity parts
+let cq_rows ?feedback layout atoms =
+  match atoms with
+  | [] -> 0.
+  | [ a ] -> (Feedback.atom_est ?feedback layout a).Estimate.rows
+  | _ -> (
+    match Feedback.lookup_atoms feedback ~tag:"j" atoms with
+    | Some f -> Estimate.cq_rows layout atoms *. f
+    | None -> (
+      match List.map (Feedback.atom_est ?feedback layout) atoms with
+      | [] -> 0.
+      | first :: rest -> (List.fold_left Estimate.join first rest).Estimate.rows))
 
-let rec fol_cost model layout fol =
+let rec fol_rows ?feedback layout fol =
+  (* A correction for the node's whole output shape wins (applied to
+     the raw structural estimate it was learned against); otherwise
+     the recursion corrects the pieces independently. *)
+  match Feedback.lookup_fol feedback fol with
+  | Some f -> fol_rows layout fol *. f
+  | None -> (
+    match fol with
+    | Fol.Leaf { ucq; _ } ->
+      List.fold_left
+        (fun acc d -> acc +. cq_rows ?feedback layout (Cq.atoms d))
+        0. (Ucq.disjuncts ucq)
+    | Fol.Union { branches; _ } ->
+      List.fold_left (fun acc b -> acc +. fol_rows ?feedback layout b) 0. branches
+    | Fol.Join { parts; _ } ->
+      (* independence across fragments, bounded by the smallest part *)
+      List.fold_left
+        (fun acc p -> Float.min acc (fol_rows ?feedback layout p))
+        infinity parts)
+
+let rec fol_cost ?feedback model layout fol =
   match fol with
   | Fol.Leaf { ucq; _ } ->
-    let rows = fol_rows layout fol in
+    let rows = fol_rows ?feedback layout fol in
     let arms =
       List.fold_left
-        (fun acc d -> acc +. cq_cost model layout d)
+        (fun acc d -> acc +. cq_cost ?feedback model layout d)
         0. (Ucq.disjuncts ucq)
     in
     arms +. (model.c_distinct *. rows)
   | Fol.Union { branches; _ } ->
-    let rows = fol_rows layout fol in
-    List.fold_left (fun acc b -> acc +. fol_cost model layout b) 0. branches
+    let rows = fol_rows ?feedback layout fol in
+    List.fold_left
+      (fun acc b -> acc +. fol_cost ?feedback model layout b)
+      0. branches
     +. (model.c_distinct *. rows)
   | Fol.Join { parts; _ } ->
     let part_costs =
       List.fold_left
-        (fun acc p -> acc +. fol_cost model layout p +. (model.c_mat *. fol_rows layout p))
+        (fun acc p ->
+          acc
+          +. fol_cost ?feedback model layout p
+          +. (model.c_mat *. fol_rows ?feedback layout p))
         0. parts
     in
     (* greedy connected ordering mirroring the planner: joining two
@@ -95,7 +138,7 @@ let rec fol_cost model layout fol =
         (fun t -> match t with Query.Term.Var v -> Some v | Query.Term.Cst _ -> None)
         (Fol.out p)
     in
-    let sized = List.map (fun p -> vars p, fol_rows layout p) parts in
+    let sized = List.map (fun p -> vars p, fol_rows ?feedback layout p) parts in
     let join_cost =
       match List.stable_sort (fun (_, r1) (_, r2) -> Float.compare r1 r2) sized with
       | [] -> 0.
@@ -128,5 +171,5 @@ let rec fol_cost model layout fol =
         in
         grow v0 r0 0. rest
     in
-    let out = fol_rows layout fol in
+    let out = fol_rows ?feedback layout fol in
     part_costs +. join_cost +. (model.c_distinct *. out)

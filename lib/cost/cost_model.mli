@@ -21,11 +21,15 @@ val calibrated : [ `Pglite | `Db2lite ] -> t
 (** Constants empirically calibrated per target engine, as the paper
     calibrates its Java cost model for Postgres and DB2. *)
 
-val cq_cost : t -> Rdbms.Layout.t -> Query.Cq.t -> float
+val cq_cost : ?feedback:Feedback.t -> t -> Rdbms.Layout.t -> Query.Cq.t -> float
 
-val fol_cost : t -> Rdbms.Layout.t -> Query.Fol.t -> float
+val fol_cost : ?feedback:Feedback.t -> t -> Rdbms.Layout.t -> Query.Fol.t -> float
 (** Estimated evaluation cost of a FOL reformulation, including
-    fragment materialisation and the top-level join. *)
+    fragment materialisation and the top-level join. With [?feedback],
+    every cardinality the formulas consume — atom accesses, join-fold
+    prefixes, fragment unions, whole-node outputs — is corrected by
+    the store's observed factors ({!Feedback}); without it this is the
+    paper's purely static "ext" model. *)
 
-val fol_rows : Rdbms.Layout.t -> Query.Fol.t -> float
-(** Estimated answer cardinality. *)
+val fol_rows : ?feedback:Feedback.t -> Rdbms.Layout.t -> Query.Fol.t -> float
+(** Estimated answer cardinality (corrected under [?feedback]). *)

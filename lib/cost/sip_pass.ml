@@ -2,27 +2,15 @@ module P = Rdbms.Plan
 module E = Rdbms.Estimate
 module L = Rdbms.Layout
 
-(* Cardinality estimate of a physical plan, reusing the atom/join
-   estimator. A union estimates as the sum of its arms with no
-   per-column distinct counts, so [E.ndv_of] falls back to the row
-   count — which deliberately biases the pass toward [Probe_to_build]
-   into unions: the wider the reformulation, the more a reducer from
-   the small probe side stands to prune. *)
-let rec plan_est layout = function
-  | P.Scan a -> E.atom layout a
-  | P.Hash_join { left; right; _ } | P.Merge_join { left; right; _ } ->
-    E.join (plan_est layout left) (plan_est layout right)
-  | P.Index_join { left; atom; _ } ->
-    E.join (plan_est layout left) (E.atom layout atom)
-  | P.Project { input; _ } -> plan_est layout input
-  | P.Distinct p | P.Materialize p -> plan_est layout p
-  | P.Union { inputs; _ } ->
-    {
-      E.rows =
-        List.fold_left (fun r p -> r +. (plan_est layout p).E.rows) 0. inputs;
-      ndv = [];
-    }
-  | P.Sip { join; _ } -> plan_est layout join
+(* Cardinality estimate of a physical plan: {!Feedback.plan_est},
+   which reuses the atom/join estimator (a union estimates as the sum
+   of its arms with no per-column distinct counts, so [E.ndv_of] falls
+   back to the row count — deliberately biasing the pass toward
+   [Probe_to_build] into unions) and, when a correction store is
+   threaded in, replaces subtree estimates with EXPLAIN ANALYZE's
+   observed cardinalities — so the gain threshold below compares
+   reducer build cost against *real* row counts. *)
+let plan_est ?feedback layout p = Feedback.plan_est ?feedback layout p
 
 (* Minimum estimated gain (in cost-model work units) before a join is
    annotated: reducers on tiny joins cost more to build than they
@@ -46,7 +34,8 @@ let hash_gains (model : Cost_model.t) ~le ~re ~ndv_l ~ndv_r =
   in
   gain_bp, gain_pb
 
-let annotate ?(model = Cost_model.default) layout plan =
+let annotate ?(model = Cost_model.default) ?feedback layout plan =
+  let plan_est layout p = plan_est ?feedback layout p in
   let decide_join join left right c =
     let le = plan_est layout left and re = plan_est layout right in
     let ndv_l = E.ndv_of le c and ndv_r = E.ndv_of re c in
@@ -79,7 +68,8 @@ let annotate ?(model = Cost_model.default) layout plan =
            extracting the wide table it is trying to avoid *)
         join
       | L.Simple _ ->
-        let le = plan_est layout left and ae = E.atom layout atom in
+        let le = plan_est layout left
+        and ae = Feedback.atom_est ?feedback layout atom in
         let frac =
           Float.min 1.
             (E.ndv_of ae probe_col /. Float.max 1. (E.ndv_of le probe_col))

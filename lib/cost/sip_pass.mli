@@ -9,7 +9,16 @@
     gain clears a fixed threshold. The annotation is purely advisory:
     the executor returns identical answers with or without it. *)
 
-val annotate : ?model:Cost_model.t -> Rdbms.Layout.t -> Rdbms.Plan.t -> Rdbms.Plan.t
+val annotate :
+  ?model:Cost_model.t ->
+  ?feedback:Feedback.t ->
+  Rdbms.Layout.t ->
+  Rdbms.Plan.t ->
+  Rdbms.Plan.t
 (** [annotate ~model layout plan] returns [plan] with profitable joins
     wrapped in {!Rdbms.Plan.Sip} annotations ([model] defaults to
-    {!Cost_model.default}). Idempotent; existing annotations are kept. *)
+    {!Cost_model.default}). With [?feedback], the row and distinct
+    counts the gain formulas consume are corrected by the store's
+    observed factors, so the threshold decision reflects real
+    cardinalities rather than the uniformity assumptions. Idempotent;
+    existing annotations are kept. *)

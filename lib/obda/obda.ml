@@ -14,9 +14,20 @@ type engine = {
   mutable generation : int;  (* KB generation: bumped on every insert *)
   mutable views : Rdbms.Exec.view_store option;
   mutable sip : bool;  (* sideways-information-passing annotations *)
+  mutable feedback : Cost.Feedback.t option;
+      (* cardinality-correction store fed by analyze runs *)
+  mutable drift_threshold : float;
+      (* root q-error past which a cached cost-based plan re-ranks *)
 }
 
 let next_engine_id = Atomic.make 0
+
+(* A plan whose corrected root-cardinality estimate is still this far
+   from the observed answer count (q-error) after an analyze run was
+   costed against statistics that have since been corrected — worth
+   re-optimising. Well above the ~1–2 q-error of healthy estimates,
+   well below the 10^2..10^5 drift of an uncorrected union shape. *)
+let default_drift_threshold = 4.0
 
 let make_engine_of_layout kind layout =
   let profile =
@@ -32,6 +43,8 @@ let make_engine_of_layout kind layout =
     generation = 0;
     views = None;
     sip = true;
+    feedback = Some (Cost.Feedback.create ());
+    drift_threshold = default_drift_threshold;
   }
 
 let make_engine kind layout_kind abox =
@@ -87,6 +100,22 @@ let disable_fragment_views e = e.views <- None
 let set_sip e enabled = e.sip <- enabled
 
 let sip_enabled e = e.sip
+
+let feedback_store e = e.feedback
+
+let set_feedback_store e store = e.feedback <- store
+
+let set_feedback e enabled =
+  if not enabled then e.feedback <- None
+  else if e.feedback = None then e.feedback <- Some (Cost.Feedback.create ())
+
+let feedback_enabled e = e.feedback <> None
+
+let drift_threshold e = e.drift_threshold
+
+let set_drift_threshold e th =
+  if not (th >= 1.) then invalid_arg "Obda.set_drift_threshold: must be >= 1";
+  e.drift_threshold <- th
 
 let fragment_view_count e =
   match e.views with None -> 0 | Some store -> Cache.Lru.length store
@@ -145,7 +174,9 @@ let estimator e = function
     Optimizer.Estimator.ext model e.layout
 
 (* One optimisation pass: the chosen reformulation, and the chosen
-   generalized cover for the strategies that search for one. *)
+   generalized cover for the strategies that search for one. The
+   cost-based searches consult the engine's feedback store, so a
+   trained engine ranks candidate covers with observed cardinalities. *)
 let compute_plan e tbox strategy q =
   match strategy with
   | Ucq -> Covers.Reformulate.ucq tbox q, None
@@ -154,13 +185,16 @@ let compute_plan e tbox strategy q =
     let store = Reform.Relstore.of_tbox tbox in
     Covers.Reformulate.of_cover tbox (Covers.Safety.root_cover ~store tbox q), None
   | Gdl src ->
-    let r = Optimizer.Gdl.search tbox (estimator e src) q in
+    let r = Optimizer.Gdl.search ?feedback:e.feedback tbox (estimator e src) q in
     r.Optimizer.Gdl.reformulation, Some r.Optimizer.Gdl.cover
   | Gdl_limited (src, budget) ->
-    let r = Optimizer.Gdl.search ~time_budget:budget tbox (estimator e src) q in
+    let r =
+      Optimizer.Gdl.search ~time_budget:budget ?feedback:e.feedback tbox
+        (estimator e src) q
+    in
     r.Optimizer.Gdl.reformulation, Some r.Optimizer.Gdl.cover
   | Edl src ->
-    let r = Optimizer.Edl.search tbox (estimator e src) q in
+    let r = Optimizer.Edl.search ?feedback:e.feedback tbox (estimator e src) q in
     r.Optimizer.Edl.reformulation, Some r.Optimizer.Edl.cover
 
 let reformulate e tbox strategy q = fst (compute_plan e tbox strategy q)
@@ -168,6 +202,12 @@ let reformulate e tbox strategy q = fst (compute_plan e tbox strategy q)
 type plan = {
   p_reformulation : Query.Fol.t;
   p_cover : Covers.Generalized.t option;
+  p_epoch : int;
+      (* the feedback-store correction epoch the plan was costed
+         under; 0 with feedback disabled. A cached cost-based plan
+         whose q-error drifts is only re-ranked once the epoch has
+         advanced — re-searching under unchanged corrections would
+         reproduce the same cover. *)
 }
 
 (* A strategy is data-independent when its output is a function of the
@@ -231,15 +271,19 @@ let plan_key e tbox strategy q =
     (strategy_name strategy)
     (Query.Cq.to_string (Query.Cq.canonicalize q))
 
+let feedback_epoch e =
+  match e.feedback with Some fb -> Cost.Feedback.epoch fb | None -> 0
+
 let plan_for e tbox strategy q =
   let cache = if data_independent strategy then plan_cache else gen_plan_cache in
   let key = plan_key e tbox strategy q in
   match Cache.Lru.find cache key with
   | Some p -> p, true
   | None ->
+    let epoch = feedback_epoch e in
     let fol, cover = compute_plan e tbox strategy q in
     ( Cache.Lru.add_if_absent cache key
-        { p_reformulation = fol; p_cover = cover },
+        { p_reformulation = fol; p_cover = cover; p_epoch = epoch },
       false )
 
 let m_queries =
@@ -286,7 +330,7 @@ let answer e tbox strategy q =
             Cost.Cost_model.calibrated
               (match e.kind with `Pglite -> `Pglite | `Db2lite -> `Db2lite)
           in
-          Cost.Sip_pass.annotate ~model e.layout plan
+          Cost.Sip_pass.annotate ~model ?feedback:e.feedback e.layout plan
         else plan
       in
       Ok
@@ -314,3 +358,100 @@ let answers_exn e tbox strategy q =
   match (answer e tbox strategy q).answers with
   | Ok a -> a
   | Error msg -> failwith msg
+
+(* --- The feedback loop: EXPLAIN ANALYZE -> corrections -> re-rank --- *)
+
+type analysis = {
+  a_outcome : outcome;
+  a_stats : Rdbms.Exec.node_stats option;
+  a_q_error : float;
+  a_harvested : int;
+  a_reranked : bool;
+}
+
+let analyze e tbox strategy q =
+  let t0 = Obs.Mclock.now_ns () in
+  let plan_rec, plan_cached = plan_for e tbox strategy q in
+  let reformulation = plan_rec.p_reformulation in
+  let search_time = seconds_since t0 in
+  let sql = lazy (Sql.Sql_ast.to_string (Sql.Sql_gen.of_fol e.layout reformulation)) in
+  let sql_bytes = String.length (Lazy.force sql) in
+  let t1 = Obs.Mclock.now_ns () in
+  let answers, stats =
+    match e.profile.Rdbms.Explain.max_sql_bytes with
+    | Some limit when sql_bytes > limit ->
+      ( Error
+          (Printf.sprintf
+             "The statement is too long or too complex. Current SQL statement \
+              size is %d"
+             sql_bytes),
+        None )
+    | _ ->
+      let plan = Rdbms.Planner.of_fol e.layout reformulation in
+      let plan =
+        if e.sip then
+          let model =
+            Cost.Cost_model.calibrated
+              (match e.kind with `Pglite -> `Pglite | `Db2lite -> `Db2lite)
+          in
+          Cost.Sip_pass.annotate ~model ?feedback:e.feedback e.layout plan
+        else plan
+      in
+      let rel, stats =
+        Rdbms.Exec.run_analyzed ~config:e.profile.Rdbms.Explain.exec_config
+          ?views:e.views e.layout plan
+      in
+      Ok (Rdbms.Exec.decode_rows e.layout rel), Some stats
+  in
+  let eval_time = seconds_since t1 in
+  (* The drift check prices the plan's root under the corrections it
+     was (approximately) costed with — *before* this run's harvest —
+     so a plan whose estimate already matches reality never churns. *)
+  let q_error =
+    match stats with
+    | None -> 1.0
+    | Some s -> Cost.Feedback.root_q_error ?feedback:e.feedback e.layout s
+  in
+  let harvested =
+    match e.feedback, stats with
+    | Some fb, Some s -> Cost.Feedback.harvest fb e.layout s
+    | _ -> 0
+  in
+  let reranked =
+    (* Re-rank: the cached cover was chosen under estimates that are
+       now demonstrably off (q-error past the threshold) *and* the
+       correction epoch has advanced past the plan's — dropping the
+       entry makes the next call re-search under the new factors. *)
+    match e.feedback with
+    | Some fb
+      when (not (data_independent strategy))
+           && q_error > e.drift_threshold
+           && Cost.Feedback.epoch fb > plan_rec.p_epoch ->
+      let key = plan_key e tbox strategy q in
+      let dropped = Cache.Lru.invalidate_if gen_plan_cache (fun k -> k = key) in
+      if dropped > 0 then Cost.Feedback.note_rerank ();
+      dropped > 0
+    | _ -> false
+  in
+  Obs.Metrics.incr m_queries;
+  Obs.Metrics.observe m_search_ms (search_time *. 1000.);
+  Obs.Metrics.observe m_eval_ms (eval_time *. 1000.);
+  Obs.Metrics.observe m_total_ms (seconds_since t0 *. 1000.);
+  {
+    a_outcome =
+      {
+        strategy;
+        reformulation;
+        cq_count = Query.Fol.cq_count reformulation;
+        sql;
+        sql_bytes;
+        search_time;
+        eval_time;
+        plan_cached;
+        answers;
+      };
+    a_stats = stats;
+    a_q_error = q_error;
+    a_harvested = harvested;
+    a_reranked = reranked;
+  }

@@ -170,3 +170,68 @@ val set_sip : engine -> bool -> unit
     cache, which stores only reformulations). *)
 
 val sip_enabled : engine -> bool
+
+(** {2 Feedback-driven cost corrections}
+
+    The closed loop from EXPLAIN ANALYZE back into the optimizer:
+    every engine carries a {!Cost.Feedback} correction store (on by
+    default, empty until trained). {!analyze} runs a query through
+    {!Rdbms.Exec.run_analyzed}, harvests the per-operator
+    (est, actual) cardinality pairs into the store, and the next
+    cost-based cover search — the "ext" estimator, the SIP gain
+    threshold, GDL/EDL candidate ranking — prices reformulations with
+    the observed factors instead of the uniformity assumptions.
+
+    Cached cost-based plans carry the correction {e epoch} they were
+    costed under. When an {!analyze} run finds a plan whose corrected
+    root estimate still drifts past the engine's q-error threshold
+    {e and} the epoch has advanced, the plan-cache entry is dropped
+    ([feedback.plan.reranks]) so the next call re-optimises — the
+    paper's ε calibration as a feedback loop. Corrections never change
+    answers: any cover's reformulation is answer-equivalent, so
+    feedback only moves {e which} equivalent plan runs. *)
+
+val feedback_store : engine -> Cost.Feedback.t option
+(** The engine's correction store; [None] when feedback is disabled. *)
+
+val set_feedback : engine -> bool -> unit
+(** [set_feedback e false] detaches the store (subsequent searches are
+    purely static); [set_feedback e true] re-attaches a fresh one if
+    none is present (an existing store is kept). *)
+
+val feedback_enabled : engine -> bool
+
+val set_feedback_store : engine -> Cost.Feedback.t option -> unit
+(** Attach a specific store — e.g. one rehydrated from disk with
+    {!Cost.Feedback.load} ([obda_cli feedback load]). *)
+
+val default_drift_threshold : float
+(** [4.0]: the root q-error past which an analyzed cost-based plan is
+    considered drifted. *)
+
+val drift_threshold : engine -> float
+
+val set_drift_threshold : engine -> float -> unit
+(** [Invalid_argument] below [1.0] (a q-error is never below one). *)
+
+type analysis = {
+  a_outcome : outcome;  (** exactly what {!answer} would return *)
+  a_stats : Rdbms.Exec.node_stats option;
+      (** the EXPLAIN ANALYZE tree; [None] when the engine rejected
+          the statement (size limit) and nothing ran *)
+  a_q_error : float;
+      (** root-cardinality q-error of the {e corrected} estimate
+          against the observed answer count, priced before this run's
+          harvest; [1.0] when nothing ran *)
+  a_harvested : int;  (** (est, actual) pairs recorded into the store *)
+  a_reranked : bool;
+      (** this run invalidated the cached plan for drift: the next
+          {!answer}/{!analyze} of this query re-optimises under the
+          updated corrections *)
+}
+
+val analyze : engine -> Dllite.Tbox.t -> strategy -> Query.Cq.t -> analysis
+(** {!answer} through the instrumented executor: same plan cache, same
+    SIP annotations, identical answers — plus the harvest and the
+    drift check described above. This is the only path that trains the
+    store; plain {!answer} never pays the instrumentation. *)

@@ -17,7 +17,7 @@ let m_examined =
     "edl.covers.examined"
 
 let search ?(max_covers = 20_000) ?(language = Reformulate.Ucq_fragments) ?jobs
-    tbox estimator q =
+    ?feedback tbox estimator q =
   (* Monotonic clock: wall clock can step backwards under NTP and
      report a negative search_time. *)
   let t0 = Obs.Mclock.now_ns () in
@@ -37,7 +37,7 @@ let search ?(max_covers = 20_000) ?(language = Reformulate.Ucq_fragments) ?jobs
     Parallel.map ?jobs
       (fun cover ->
         let fol = Reformulate.of_generalized ~language tbox cover in
-        cover, fol, estimator.Estimator.estimate fol)
+        cover, fol, estimator.Estimator.estimate ?feedback fol)
       covers
   in
   (* Trace emission happens after the parallel scoring pass, in

@@ -1,16 +1,22 @@
 type t = {
   name : string;
-  estimate : Query.Fol.t -> float;
+  estimate : ?feedback:Cost.Feedback.t -> Query.Fol.t -> float;
 }
 
 let rdbms profile layout =
   {
     name = "rdbms";
     estimate =
-      (fun fol ->
+      (* the engine's own estimator: its quirks are the point, so
+         feedback corrections (ours, not the engine's) don't apply *)
+      (fun ?feedback:_ fol ->
         let plan = Rdbms.Planner.of_fol layout fol in
         (Rdbms.Explain.cost profile layout plan).Rdbms.Explain.total_cost);
   }
 
 let ext model layout =
-  { name = "ext"; estimate = (fun fol -> Cost.Cost_model.fol_cost model layout fol) }
+  {
+    name = "ext";
+    estimate =
+      (fun ?feedback fol -> Cost.Cost_model.fol_cost ?feedback model layout fol);
+  }

@@ -4,14 +4,18 @@
 
 type t = {
   name : string;  (** ["rdbms"] or ["ext"] *)
-  estimate : Query.Fol.t -> float;
-      (** estimated evaluation cost of a reformulation *)
+  estimate : ?feedback:Cost.Feedback.t -> Query.Fol.t -> float;
+      (** estimated evaluation cost of a reformulation; [?feedback]
+          threads a {!Cost.Feedback} correction store so the estimate
+          reflects observed cardinalities *)
 }
 
 val rdbms : Rdbms.Explain.profile -> Rdbms.Layout.t -> t
 (** Plans the reformulation and prices it with the engine's native
     estimator, including its quirks (sampling shortcuts, repeated-scan
-    discounts). *)
+    discounts). Ignores [?feedback]: the corrections calibrate {e our}
+    external model, not the engine's black box. *)
 
 val ext : Cost.Cost_model.t -> Rdbms.Layout.t -> t
-(** The external cost model over the same statistics. *)
+(** The external cost model over the same statistics; consults the
+    [?feedback] store through {!Cost.Cost_model.fol_cost}. *)

@@ -14,6 +14,7 @@ type result = {
 
 type search_state = {
   estimator : Estimator.t;
+  feedback : Cost.Feedback.t option;
   language : Reformulate.fragment_language;
   tbox : Dllite.Tbox.t;
   cost_cache : (string, float * Query.Fol.t) Hashtbl.t;
@@ -60,7 +61,7 @@ let out_of_time st =
 let score st cover =
   let t0 = Obs.Mclock.now_ns () in
   let fol = Reformulate.of_generalized ~language:st.language st.tbox cover in
-  let c = st.estimator.Estimator.estimate fol in
+  let c = st.estimator.Estimator.estimate ?feedback:st.feedback fol in
   c, fol, seconds_since t0
 
 (* Always called sequentially (in candidate order after a parallel
@@ -152,13 +153,14 @@ let candidate_moves ?(space = `Gq) cover =
   in
   unions @ enlargements
 
-let search ?time_budget ?(space = `Gq) ?(language = Reformulate.Ucq_fragments) ?jobs
-    tbox estimator q =
+let search ?time_budget ?(space = `Gq) ?(language = Reformulate.Ucq_fragments)
+    ?jobs ?feedback tbox estimator q =
   let t0 = Obs.Mclock.now_ns () in
   Obs.Metrics.incr m_searches;
   let st =
     {
       estimator;
+      feedback;
       language;
       tbox;
       cost_cache = Hashtbl.create 64;

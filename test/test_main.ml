@@ -12,6 +12,7 @@ let () =
       "storage", Test_storage.suite;
       "optimizer", Test_optimizer.suite;
       "obda", Test_obda.suite;
+      "feedback", Test_feedback.suite;
       "lubm", Test_lubm.suite;
       "sql", Test_sql.suite;
       "syntax", Test_syntax.suite;

@@ -511,7 +511,18 @@ let test_q_error () =
   Alcotest.(check (float 1e-9)) "perfect" 1.
     (Rdbms.Explain.q_error ~est:5. ~actual:5);
   Alcotest.(check (float 1e-9)) "empty result clamps" 3.
-    (Rdbms.Explain.q_error ~est:3. ~actual:0)
+    (Rdbms.Explain.q_error ~est:3. ~actual:0);
+  (* Edge cases: both sides clamp below at one row, so a zero estimate
+     or an empty result never divides by zero and never reports an
+     error below 1. *)
+  Alcotest.(check (float 1e-9)) "zero estimate clamps" 5.
+    (Rdbms.Explain.q_error ~est:0. ~actual:5);
+  Alcotest.(check (float 1e-9)) "zero on both sides is perfect" 1.
+    (Rdbms.Explain.q_error ~est:0. ~actual:0);
+  Alcotest.(check (float 1e-9)) "fractional estimate clamps" 1.
+    (Rdbms.Explain.q_error ~est:0.25 ~actual:1);
+  Alcotest.(check bool) "never below one" true
+    (Rdbms.Explain.q_error ~est:7. ~actual:7 >= 1.)
 
 (* Touch a couple of Fixtures helpers so the shared module stays
    warning-free regardless of which suites use them. *)
